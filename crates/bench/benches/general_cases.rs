@@ -1,0 +1,34 @@
+//! Criterion bench behind E7: the Theorem 5.3/5.11 general algorithms on
+//! [US:AS:GM] and [BD:AS:AS] workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowband_bench::{bd_as_as_workload, us_as_gm_workload};
+use lowband_core::{run_algorithm, Algorithm};
+use lowband_matrix::Fp;
+
+fn bench_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("general_cases");
+    group.sample_size(10);
+    for &n in &[48usize, 96] {
+        let inst = us_as_gm_workload(n, 3, 5);
+        group.bench_with_input(BenchmarkId::new("us_as_gm", n), &inst, |b, inst| {
+            b.iter(|| {
+                let r = run_algorithm::<Fp>(inst, Algorithm::BoundedTriangles, 6).unwrap();
+                assert!(r.correct);
+                r.rounds
+            })
+        });
+        let inst = bd_as_as_workload(n, 3, 7);
+        group.bench_with_input(BenchmarkId::new("bd_as_as", n), &inst, |b, inst| {
+            b.iter(|| {
+                let r = run_algorithm::<Fp>(inst, Algorithm::BoundedTriangles, 8).unwrap();
+                assert!(r.correct);
+                r.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_general);
+criterion_main!(benches);

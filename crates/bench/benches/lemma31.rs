@@ -1,0 +1,50 @@
+//! Criterion bench for Lemma 3.1 (E6): schedule compilation and execution
+//! across the κ sweep of the block workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowband_bench::block_workload;
+use lowband_core::lemma31::process_triangles;
+use lowband_core::TriangleSet;
+use lowband_matrix::{Fp, SparseMatrix};
+use rand::SeedableRng;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma31_compile");
+    group.sample_size(10);
+    for &d in &[4usize, 8, 16] {
+        let inst = block_workload(4, d);
+        let ts = TriangleSet::enumerate(&inst);
+        let kappa = ts.kappa(inst.n);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                process_triangles(&inst, &ts.triangles, kappa, 0)
+                    .unwrap()
+                    .rounds()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma31_execute");
+    group.sample_size(10);
+    for &d in &[4usize, 8, 16] {
+        let inst = block_workload(4, d);
+        let ts = TriangleSet::enumerate(&inst);
+        let schedule = process_triangles(&inst, &ts.triangles, ts.kappa(inst.n), 0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a: SparseMatrix<Fp> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
+        let b_m: SparseMatrix<Fp> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let mut machine = inst.load_machine(&a, &b_m);
+                machine.run(&schedule).unwrap().rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_execute);
+criterion_main!(benches);

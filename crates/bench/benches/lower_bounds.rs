@@ -1,0 +1,50 @@
+//! Criterion bench behind E8–E10: the executable lower-bound artifacts —
+//! Boolean degree computation, the routing certifier, and the dense-packing
+//! reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowband_lower::gadgets::{rs_cs_gadget, us_gm_gadget};
+use lowband_lower::{dense_via_as_reduction, max_foreign_values, BooleanFunction};
+
+fn bench_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boolfn_degree");
+    for &n in &[12usize, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("or", n), &n, |b, &n| {
+            b.iter(|| BooleanFunction::or(n).degree())
+        });
+    }
+    group.finish();
+}
+
+fn bench_certifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_certifier");
+    for &n in &[64usize, 256] {
+        let g1 = us_gm_gadget(n);
+        group.bench_with_input(BenchmarkId::new("us_gm", n), &g1, |b, g| {
+            b.iter(|| max_foreign_values(g))
+        });
+        let g2 = rs_cs_gadget(n);
+        group.bench_with_input(BenchmarkId::new("rs_cs", n), &g2, |b, g| {
+            b.iter(|| max_foreign_values(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_packing_reduction");
+    group.sample_size(10);
+    for &m in &[6usize, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let r = dense_via_as_reduction(m, 9).unwrap();
+                assert!(r.correct);
+                r.simulated_rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_degree, bench_certifier, bench_reduction);
+criterion_main!(benches);

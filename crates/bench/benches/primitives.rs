@@ -1,0 +1,80 @@
+//! Criterion benches for the communication substrate: edge coloring,
+//! packed routing (exact vs greedy — the ablation), broadcast and
+//! convergecast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowband_model::{Key, NodeId};
+use lowband_routing::{
+    broadcast, color_bipartite, convergecast, greedy_color_bipartite, route, route_greedy,
+    RangeTask,
+};
+
+fn random_messages(n: u32, m: usize, seed: u64) -> Vec<lowband_routing::MessageSpec> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..m)
+        .map(|t| {
+            lowband_routing::router::msg(
+                NodeId((next() % u64::from(n)) as u32),
+                Key::tmp(0, t as u64),
+                NodeId((next() % u64::from(n)) as u32),
+                Key::tmp(1, t as u64),
+            )
+        })
+        .collect()
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_coloring");
+    for &m in &[1_000usize, 10_000] {
+        let msgs = random_messages(256, m, 42);
+        let edges: Vec<(u32, u32)> = msgs.iter().map(|t| (t.src.0, t.dst.0)).collect();
+        group.bench_with_input(BenchmarkId::new("exact", m), &edges, |b, e| {
+            b.iter(|| color_bipartite(e))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", m), &edges, |b, e| {
+            b.iter(|| greedy_color_bipartite(e))
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_compile");
+    for &m in &[1_000usize, 10_000] {
+        let msgs = random_messages(256, m, 7);
+        group.bench_with_input(BenchmarkId::new("exact", m), &msgs, |b, msgs| {
+            b.iter(|| route(256, msgs).unwrap().rounds())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", m), &msgs, |b, msgs| {
+            b.iter(|| route_greedy(256, msgs).unwrap().rounds())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trees");
+    for &n in &[1_024usize, 16_384] {
+        let tasks = vec![RangeTask {
+            start: NodeId(0),
+            len: n as u32,
+            key: Key::tmp(0, 0),
+        }];
+        group.bench_with_input(BenchmarkId::new("broadcast", n), &tasks, |b, t| {
+            b.iter(|| broadcast(n, t).unwrap().rounds())
+        });
+        group.bench_with_input(BenchmarkId::new("convergecast", n), &tasks, |b, t| {
+            b.iter(|| convergecast(n, t).unwrap().rounds())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring, bench_routing, bench_trees);
+criterion_main!(benches);

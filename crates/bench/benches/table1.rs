@@ -1,0 +1,63 @@
+//! Criterion bench behind Table 1 (E1): the three algorithms on the
+//! extremal block workload, end to end (compile + execute + verify).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowband_bench::block_workload;
+use lowband_core::densemm::DenseEngine;
+use lowband_core::{run_algorithm, Algorithm};
+use lowband_matrix::Wrap64;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_block_workload");
+    group.sample_size(10);
+    for &d in &[8usize, 16] {
+        let inst = block_workload(4, d);
+        for (name, alg) in [
+            ("trivial", Algorithm::Trivial),
+            ("bounded", Algorithm::BoundedTriangles),
+            (
+                "two_phase_cube",
+                Algorithm::TwoPhase {
+                    d,
+                    engine: DenseEngine::Cube3d,
+                },
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, d), &inst, |b, inst| {
+                b.iter(|| {
+                    let r = run_algorithm::<Wrap64>(inst, alg, 3).unwrap();
+                    assert!(r.correct);
+                    r.rounds
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_dense_engines(c: &mut Criterion) {
+    use lowband_matrix::Support;
+    let mut group = c.benchmark_group("dense_engines_compile");
+    group.sample_size(10);
+    let n = 49;
+    let full = Support::full(n, n);
+    let inst = lowband_core::Instance::balanced(full.clone(), full.clone(), full);
+    group.bench_function("cube_n49", |b| {
+        b.iter(|| {
+            lowband_core::algorithms::solve_dense_cube(&inst, 0)
+                .unwrap()
+                .rounds()
+        })
+    });
+    group.bench_function("strassen_n49", |b| {
+        b.iter(|| {
+            lowband_core::strassen::solve_strassen(&inst, 0)
+                .unwrap()
+                .rounds()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_dense_engines);
+criterion_main!(benches);

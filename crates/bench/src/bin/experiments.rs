@@ -1,0 +1,321 @@
+//! Supplementary experiments E6–E10 (see DESIGN.md §4): the per-lemma
+//! round-count measurements backing EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p lowband-bench --release --bin experiments
+//! ```
+
+use lowband_bench::{
+    bd_as_as_workload, block_workload, fit_exponent, lemma31_rounds, scattered_workload,
+    us_as_gm_workload, TablePrinter,
+};
+use lowband_core::optimizer::{schedule, Phase2, LAMBDA_SEMIRING};
+use lowband_core::{Instance, TriangleSet};
+use lowband_matrix::Support;
+
+fn main() {
+    e6_lemma31_scaling();
+    e6b_prior_phase2_comparison();
+    e7_general_cases_shape();
+    e9_routing_gap();
+    e10_ablation_coloring();
+    e11_model_comparison();
+    e12_compression_ablation();
+}
+
+/// E12 (ablation): dataflow round compression — pipelining the phases of a
+/// compiled algorithm (extension beyond the paper; semantics verified by
+/// property tests).
+fn e12_compression_ablation() {
+    println!("\n# E12 — ablation: phase-sequential schedules vs dataflow compression\n");
+    let t = TablePrinter::new(
+        &["workload", "algorithm", "rounds", "compressed", "saving"],
+        &[16, 12, 8, 12, 8],
+    );
+    let cases: Vec<(String, lowband_core::Instance)> = vec![
+        ("block d=8".into(), block_workload(4, 8)),
+        ("block d=16".into(), block_workload(4, 16)),
+        ("scattered d=8".into(), scattered_workload(128, 8, 60)),
+        ("[US:AS:GM] d=3".into(), us_as_gm_workload(64, 3, 61)),
+    ];
+    for (name, inst) in cases {
+        let ts = TriangleSet::enumerate(&inst);
+        let schedule =
+            lowband_core::lemma31::process_triangles(&inst, &ts.triangles, ts.kappa(inst.n), 0)
+                .unwrap();
+        let compressed = lowband_model::compress(&schedule);
+        t.row(&[
+            name,
+            "Lemma 3.1".into(),
+            schedule.rounds().to_string(),
+            compressed.rounds().to_string(),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - compressed.rounds() as f64 / schedule.rounds().max(1) as f64)
+            ),
+        ]);
+    }
+    println!(
+        "\ncompression overlaps the A-, B- and X-phases of Lemma 3.1 wherever the\n\
+         dataflow allows; the asymptotic exponents are unchanged (it can save at most\n\
+         the number of phases × their depth), but the constant shrinks for free."
+    );
+}
+
+/// E11: low-bandwidth vs node-capacitated clique (§1.5) — the same message
+/// set, routed at capacities 1, ⌈log₂ n⌉ and n.
+fn e11_model_comparison() {
+    println!("\n# E11 — model comparison: low-bandwidth vs node-capacitated clique (§1.5)\n");
+    let n = 128usize;
+    let log_n = (n as f64).log2().ceil() as usize;
+    let t = TablePrinter::new(
+        &["workload", "capacity", "rounds", "vs cap 1"],
+        &[14, 12, 8, 9],
+    );
+    for d in [8usize, 16] {
+        let inst = scattered_workload(n, d, 50);
+        let ts = TriangleSet::enumerate(&inst);
+        let mut messages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for tri in &ts.triangles {
+            let consumer = inst.placement.x.owner(tri.i, tri.k);
+            let src = inst.placement.b.owner(tri.j, tri.k);
+            if src != consumer && seen.insert((tri.j, tri.k, consumer)) {
+                messages.push(lowband_routing::router::msg(
+                    src,
+                    lowband_model::Key::b(tri.j as u64, tri.k as u64),
+                    consumer,
+                    lowband_model::Key::b(tri.j as u64, tri.k as u64),
+                ));
+            }
+        }
+        let base = lowband_routing::route(n, &messages).unwrap().rounds();
+        for (label, cap) in [
+            ("low-bandwidth", 1usize),
+            ("NCC(log n)", log_n),
+            ("congested clique", n),
+        ] {
+            let rounds = lowband_routing::route_with_capacity(n, cap, &messages)
+                .unwrap()
+                .rounds();
+            t.row(&[
+                format!("fetch d={d}"),
+                label.into(),
+                rounds.to_string(),
+                format!("{:.2}×", base as f64 / rounds.max(1) as f64),
+            ]);
+        }
+    }
+    println!(
+        "\nthe capacity-c model simulates the low-bandwidth schedule c× faster — the\n\
+         relationship the paper uses to place itself between NCC and congested clique,\n\
+         and why sparse MM is only interesting below NCC bandwidth (≈O(1) rounds there)."
+    );
+}
+
+/// E6: Lemma 3.1's O(κ + d + log m) — sweep each term separately.
+fn e6_lemma31_scaling() {
+    println!("# E6 — Lemma 3.1 cost model O(κ + d + log m)\n");
+
+    println!("## κ sweep (block workload, κ = d², d and log m grow slowly)\n");
+    let t = TablePrinter::new(&["d", "κ", "rounds", "rounds/κ"], &[4, 8, 8, 9]);
+    let mut pts = Vec::new();
+    for d in [4usize, 8, 16, 32] {
+        let inst = block_workload(4, d);
+        let ts = TriangleSet::enumerate(&inst);
+        let kappa = ts.kappa(inst.n);
+        let rounds = lemma31_rounds(&inst, None);
+        pts.push((kappa as f64, rounds as f64));
+        t.row(&[
+            d.to_string(),
+            kappa.to_string(),
+            rounds.to_string(),
+            format!("{:.2}", rounds as f64 / kappa as f64),
+        ]);
+    }
+    let (e, _) = fit_exponent(&pts);
+    println!("\nrounds vs κ fitted exponent: {e:.3} (theory: 1.0 — linear in κ)\n");
+
+    println!("## log m sweep (single heavy pair: m triangles share one edge)\n");
+    let t = TablePrinter::new(&["n = m", "rounds", "⌈log₂ m⌉"], &[8, 8, 10]);
+    for n in [32usize, 128, 512, 2048] {
+        // Triangles (i, 0, 0): pair (j,k) = (0,0) has multiplicity n.
+        let ahat = Support::from_entries(n, n, (0..n as u32).map(|i| (i, 0)));
+        let bhat = Support::from_entries(n, n, vec![(0, 0)]);
+        let xhat = Support::from_entries(n, n, (0..n as u32).map(|i| (i, 0)));
+        let inst = Instance::balanced(ahat, bhat, xhat);
+        let rounds = lemma31_rounds(&inst, None);
+        t.row(&[
+            n.to_string(),
+            rounds.to_string(),
+            (((n as f64).log2()).ceil() as usize).to_string(),
+        ]);
+    }
+    println!();
+}
+
+/// E6b: the headline Lemma 3.1 improvement — d^{2−ε} vs prior d^{2−ε/2}
+/// residual processing, from the cost models both papers prove.
+fn e6b_prior_phase2_comparison() {
+    println!("# E6b — phase-2 cost: this work vs SPAA 2022 (analytic, Lemma 3.1 vs Lemma 5.1)\n");
+    let t = TablePrinter::new(
+        &[
+            "residual d^(2−ε)n: ε",
+            "prior d^(2−ε/2)",
+            "ours d^(2−ε)",
+            "speedup @ d=10⁴",
+        ],
+        &[20, 16, 14, 16],
+    );
+    for eps in [0.1f64, 0.2, 0.4, 0.667] {
+        let d: f64 = 1e4;
+        let prior = d.powf(2.0 - eps / 2.0);
+        let ours = d.powf(2.0 - eps);
+        t.row(&[
+            format!("{eps:.3}"),
+            format!("d^{:.3}", 2.0 - eps / 2.0),
+            format!("d^{:.3}", 2.0 - eps),
+            format!("{:.1}×", prior / ours),
+        ]);
+    }
+    let ours = schedule(LAMBDA_SEMIRING, 0.00001, 1.867, Phase2::ThisWork);
+    let prior = schedule(LAMBDA_SEMIRING, 0.00001, 1.926, Phase2::PriorWork);
+    println!(
+        "\nbalanced end-to-end exponents: ours {:.3} (ε* = {:.4}) vs prior {:.3} (ε* = {:.4})\n",
+        ours.exponent,
+        ours.steps.last().unwrap().eps,
+        prior.exponent,
+        prior.steps.last().unwrap().eps
+    );
+}
+
+/// E7: the O(d² + log n) shape of Theorems 5.3/5.11 — d sweep at fixed n,
+/// n sweep at fixed d.
+fn e7_general_cases_shape() {
+    println!("# E7 — Theorems 5.3/5.11: O(d² + log n) shape\n");
+    println!("## d sweep at n = 96\n");
+    let t = TablePrinter::new(
+        &["task", "d", "κ", "rounds", "rounds/d²"],
+        &[12, 4, 6, 8, 10],
+    );
+    let mut pts = Vec::new();
+    for d in [2usize, 4, 8] {
+        let inst = us_as_gm_workload(96, d, 20 + d as u64);
+        let ts = TriangleSet::enumerate(&inst);
+        let rounds = lemma31_rounds(&inst, None);
+        pts.push((d as f64, rounds as f64));
+        t.row(&[
+            "[US:AS:GM]".into(),
+            d.to_string(),
+            ts.kappa(inst.n).to_string(),
+            rounds.to_string(),
+            format!("{:.2}", rounds as f64 / (d * d) as f64),
+        ]);
+    }
+    let (e, _) = fit_exponent(&pts);
+    println!("\nfitted exponent vs d: {e:.3} (theory: 2.0)\n");
+
+    println!("## n sweep at d = 3 (additive log n term)\n");
+    let t = TablePrinter::new(&["task", "n", "rounds"], &[12, 6, 8]);
+    for n in [48usize, 96, 192, 384] {
+        let inst = bd_as_as_workload(n, 3, 30);
+        let rounds = lemma31_rounds(&inst, None);
+        t.row(&["[BD:AS:AS]".into(), n.to_string(), rounds.to_string()]);
+    }
+    println!("\nrounds stay nearly flat in n (the log n term), as Theorem 5.11 predicts.\n");
+}
+
+/// E9: the √n gap — certified lower bound vs executed upper bound on the
+/// routing gadgets.
+fn e9_routing_gap() {
+    println!("# E9 — Theorem 6.27 gadgets: certificate vs executed algorithm\n");
+    let t = TablePrinter::new(
+        &["gadget", "n", "√n", "certified LB", "executed UB", "UB/n"],
+        &[12, 6, 6, 13, 12, 6],
+    );
+    for n in [64usize, 144, 256] {
+        for (name, g) in [
+            ("US×GM=GM", lowband_lower::gadgets::us_gm_gadget(n)),
+            ("RS×CS=GM", lowband_lower::gadgets::rs_cs_gadget(n)),
+        ] {
+            let cert = lowband_lower::max_foreign_values(&g);
+            let ub = lemma31_rounds(&g, None);
+            t.row(&[
+                name.into(),
+                n.to_string(),
+                ((n as f64).sqrt() as usize).to_string(),
+                cert.to_string(),
+                ub.to_string(),
+                format!("{:.1}", ub as f64 / n as f64),
+            ]);
+        }
+    }
+    println!("\nboth gadgets sit in the Ω(√n)…O(n·polylog) window the paper leaves open.\n");
+
+    println!("## the placement game: the certificate vs the friendliest output placement\n");
+    let t = TablePrinter::new(&["placement", "n", "√n", "certified LB"], &[20, 6, 6, 13]);
+    for n in [64usize, 256] {
+        let balanced = lowband_lower::gadgets::us_gm_gadget(n);
+        let square = lowband_lower::gadgets::with_square_block_output(
+            lowband_lower::gadgets::us_gm_gadget(n),
+        );
+        t.row(&[
+            "balanced rows".into(),
+            n.to_string(),
+            ((n as f64).sqrt() as usize).to_string(),
+            lowband_lower::max_foreign_values(&balanced).to_string(),
+        ]);
+        t.row(&[
+            "√n×√n blocks".into(),
+            n.to_string(),
+            ((n as f64).sqrt() as usize).to_string(),
+            lowband_lower::max_foreign_values(&square).to_string(),
+        ]);
+    }
+    println!(
+        "\neven the friendliest placement cannot push the certificate below ~√n —\n\
+         the pigeonhole maxcol·numcols ≥ |X^v| of Theorem 6.27's proof.\n"
+    );
+}
+
+/// E10 (ablation): exact Δ edge coloring vs greedy first-fit — the design
+/// choice DESIGN.md calls out for the routing substrate.
+fn e10_ablation_coloring() {
+    println!("# E10 — ablation: exact Δ-edge-coloring vs greedy routing\n");
+    let t = TablePrinter::new(
+        &["workload", "d", "exact rounds", "greedy rounds", "overhead"],
+        &[12, 4, 13, 14, 9],
+    );
+    for d in [4usize, 8, 16] {
+        let inst = scattered_workload(128, d, 40);
+        let ts = TriangleSet::enumerate(&inst);
+        // Compare the raw routing phase: every consumer fetches its B
+        // values (the trivial algorithm's message set) under both routers.
+        let mut messages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for tri in &ts.triangles {
+            let consumer = inst.placement.x.owner(tri.i, tri.k);
+            let src = inst.placement.b.owner(tri.j, tri.k);
+            if src != consumer && seen.insert((tri.j, tri.k, consumer)) {
+                messages.push(lowband_routing::router::msg(
+                    src,
+                    lowband_model::Key::b(tri.j as u64, tri.k as u64),
+                    consumer,
+                    lowband_model::Key::b(tri.j as u64, tri.k as u64),
+                ));
+            }
+        }
+        let exact = lowband_routing::route(inst.n, &messages).unwrap().rounds();
+        let greedy = lowband_routing::route_greedy(inst.n, &messages)
+            .unwrap()
+            .rounds();
+        t.row(&[
+            "scattered US".into(),
+            d.to_string(),
+            exact.to_string(),
+            greedy.to_string(),
+            format!("{:.2}×", greedy as f64 / exact.max(1) as f64),
+        ]);
+    }
+    println!("\ngreedy is within 2× (König guarantees exact = Δ; greedy ≤ 2Δ−1).");
+}

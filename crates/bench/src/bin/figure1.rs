@@ -1,0 +1,73 @@
+//! Regenerate the **§1.2 figure** — progress of the round-complexity
+//! exponent towards the conditional milestones — from the recurrences, with
+//! an ASCII rendering of the ladder.
+//!
+//! ```text
+//! cargo run -p lowband-bench --release --bin figure1
+//! ```
+
+use lowband_bench::TablePrinter;
+use lowband_core::optimizer::{headline_exponents, lambda_field, OMEGA_STRASSEN};
+
+fn bar(lo: f64, hi: f64, value: f64, width: usize) -> String {
+    let frac = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    format!("{}{}", "█".repeat(filled), "·".repeat(width - filled))
+}
+
+fn main() {
+    println!("# Figure (§1.2) — exponent progress towards the dense milestones\n");
+    let h = headline_exponents(0.00001);
+
+    let rows: Vec<(&str, f64, f64)> = vec![
+        ("trivial", 2.0, 2.0),
+        ("prior work (SPAA 2022)", h.prior_semiring, h.prior_field),
+        ("this work (Theorem 4.2)", h.new_semiring, h.new_field),
+        ("strassen-engine variant", f64::NAN, {
+            use lowband_core::optimizer::{optimal_schedule, Phase2};
+            optimal_schedule(lambda_field(OMEGA_STRASSEN), 0.00001, Phase2::ThisWork).exponent
+        }),
+        (
+            "milestone (⇒ dense breakthrough)",
+            h.milestone_semiring,
+            h.milestone_field,
+        ),
+    ];
+
+    let t = TablePrinter::new(&["algorithm", "semirings", "fields"], &[34, 10, 10]);
+    for (name, s, f) in &rows {
+        t.row(&[
+            (*name).into(),
+            if s.is_nan() {
+                "—".into()
+            } else {
+                format!("{s:.3}")
+            },
+            format!("{f:.3}"),
+        ]);
+    }
+
+    println!("\n## Ladder (semirings), exponent axis from 1.333 to 2.0\n");
+    for (name, s, _) in &rows {
+        if s.is_nan() {
+            continue;
+        }
+        println!("{:<34} {} {:.3}", name, bar(1.30, 2.0, *s, 40), s);
+    }
+    println!("\n## Ladder (fields), exponent axis from 1.156 to 2.0\n");
+    for (name, _, f) in &rows {
+        println!("{:<34} {} {:.3}", name, bar(1.15, 2.0, *f, 40), f);
+    }
+
+    // The progress fractions the figure illustrates.
+    let closed_semi = (2.0 - h.new_semiring) / (2.0 - h.milestone_semiring);
+    let closed_field = (2.0 - h.new_field) / (2.0 - h.milestone_field);
+    println!(
+        "\nthis work closes {:.1}% of the trivial→milestone gap for semirings and \
+         {:.1}% for fields\n(prior work: {:.1}% / {:.1}%).",
+        100.0 * closed_semi,
+        100.0 * closed_field,
+        100.0 * (2.0 - h.prior_semiring) / (2.0 - h.milestone_semiring),
+        100.0 * (2.0 - h.prior_field) / (2.0 - h.milestone_field),
+    );
+}

@@ -1,0 +1,218 @@
+//! Regenerate **Table 1** — complexity of distributed sparse matrix
+//! multiplication — as (a) the analytic exponents recomputed from the
+//! paper's recurrences and (b) measured round counts with fitted exponents
+//! from live simulation on the extremal workload.
+//!
+//! ```text
+//! cargo run -p lowband-bench --release --bin table1
+//! ```
+
+use lowband_bench::{block_workload, fit_exponent, lemma31_rounds, TablePrinter};
+use lowband_core::algorithms::{solve_trivial, solve_two_phase};
+use lowband_core::densemm::DenseEngine;
+use lowband_core::optimizer::{headline_exponents, lambda_field, OMEGA_PAPER, OMEGA_STRASSEN};
+use lowband_core::TriangleSet;
+
+fn main() {
+    println!("# Table 1 — complexity of distributed sparse matrix multiplication\n");
+
+    // ---- Analytic rows ----------------------------------------------------
+    let h = headline_exponents(0.00001);
+    println!("## Analytic exponents (recomputed from the paper's recurrences)\n");
+    let t = TablePrinter::new(
+        &["algorithm", "semirings", "fields", "reference"],
+        &[34, 12, 12, 22],
+    );
+    t.row(&[
+        "trivial (gather everything)".into(),
+        "O(n^2)".into(),
+        "O(n^2)".into(),
+        "trivial".into(),
+    ]);
+    t.row(&[
+        "dense, congested-clique sim".into(),
+        "O(n^4/3)".into(),
+        format!("O(n^{:.4})", lambda_field(OMEGA_PAPER)),
+        "[23, 3]".into(),
+    ]);
+    t.row(&[
+        "moderately sparse".into(),
+        "O(d n^1/3)".into(),
+        "O(d n^1/3)".into(),
+        "[2]".into(),
+    ]);
+    t.row(&[
+        "trivial sparse".into(),
+        "O(d^2)".into(),
+        "O(d^2)".into(),
+        "trivial, [13]".into(),
+    ]);
+    t.row(&[
+        "prior two-phase (SPAA 2022)".into(),
+        format!("O(d^{:.3})", h.prior_semiring),
+        format!("O(d^{:.3})", h.prior_field),
+        "[13]".into(),
+    ]);
+    t.row(&[
+        "this work, Theorem 4.2".into(),
+        format!("O(d^{:.3})", h.new_semiring),
+        format!("O(d^{:.3})", h.new_field),
+        "Theorem 4.2".into(),
+    ]);
+    println!(
+        "\npaper prints: prior 1.927 / 1.907, this work 1.867 / 1.832 \
+         (our recurrence gives the prior semiring bound as {:.4}; the paper \
+         rounds it to 1.927)\n",
+        h.prior_semiring
+    );
+
+    // ---- Measured rows ----------------------------------------------------
+    println!(
+        "## Measured rounds on the extremal [US:US:US] workload (dense d×d blocks, 4 blocks)\n"
+    );
+    let ds = [8usize, 27, 64];
+    let t = TablePrinter::new(
+        &[
+            "d",
+            "triangles",
+            "trivial",
+            "Lemma 3.1 (κ=d²)",
+            "two-phase cube",
+            "two-phase strassen",
+            "fast-field model",
+        ],
+        &[4, 10, 9, 16, 14, 18, 16],
+    );
+    let mut trivial_pts = Vec::new();
+    let mut lemma_pts = Vec::new();
+    let mut cube_pts = Vec::new();
+    let mut strassen_pts = Vec::new();
+    let mut fast_pts = Vec::new();
+    for &d in &ds {
+        let inst = block_workload(4, d);
+        let ts = TriangleSet::enumerate(&inst);
+        let trivial = solve_trivial(&inst, &ts.triangles, 0).unwrap().rounds();
+        let lemma = lemma31_rounds(&inst, None);
+        let cube = solve_two_phase(&inst, d, DenseEngine::Cube3d, 0).unwrap();
+        let strassen = solve_two_phase(&inst, d, DenseEngine::StrassenExec, 0).unwrap();
+        let fast =
+            solve_two_phase(&inst, d, DenseEngine::FastField { omega: OMEGA_PAPER }, 0).unwrap();
+        trivial_pts.push((d as f64, trivial as f64));
+        lemma_pts.push((d as f64, lemma as f64));
+        cube_pts.push((d as f64, cube.rounds() as f64));
+        strassen_pts.push((d as f64, strassen.rounds() as f64));
+        fast_pts.push((d as f64, fast.modeled_rounds));
+        t.row(&[
+            d.to_string(),
+            ts.len().to_string(),
+            trivial.to_string(),
+            lemma.to_string(),
+            cube.rounds().to_string(),
+            strassen.rounds().to_string(),
+            format!("{:.0}", fast.modeled_rounds),
+        ]);
+    }
+    // ---- Measured dense baseline -------------------------------------------
+    println!(
+        "\n## Measured dense baseline: full-network cube O(n^4/3) (Table 1 row 2, semirings)\n"
+    );
+    let t2 = TablePrinter::new(&["n", "rounds", "n^4/3"], &[6, 8, 8]);
+    let mut dense_pts = Vec::new();
+    for n in [27usize, 64, 125] {
+        let full = lowband_matrix::Support::full(n, n);
+        let inst = lowband_core::Instance::balanced(full.clone(), full.clone(), full);
+        let rounds = lowband_core::algorithms::solve_dense_cube(&inst, 0)
+            .unwrap()
+            .rounds();
+        dense_pts.push((n as f64, rounds as f64));
+        t2.row(&[
+            n.to_string(),
+            rounds.to_string(),
+            format!("{:.0}", (n as f64).powf(4.0 / 3.0)),
+        ]);
+    }
+    let (dense_e, _) = fit_exponent(&dense_pts);
+    println!("\nfitted exponent: {dense_e:.3} (theory: 4/3 = 1.333)\n");
+
+    // ---- Measured moderately-sparse row -------------------------------------
+    println!(
+        "\n## Measured O(d·n^1/3) row (Table 1 row 3): sparse inputs on the full-network cube\n"
+    );
+    let t3 = TablePrinter::new(&["n", "d", "rounds", "d·n^1/3"], &[6, 4, 8, 9]);
+    let mut sparse_pts = Vec::new();
+    let d_fixed = 2usize;
+    for n in [64usize, 216, 512] {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let inst = lowband_core::Instance::balanced(
+            lowband_matrix::gen::uniform_sparse(n, d_fixed, &mut rng),
+            lowband_matrix::gen::uniform_sparse(n, d_fixed, &mut rng),
+            lowband_matrix::Support::full(n, n),
+        );
+        let rounds = lowband_core::algorithms::solve_dense_cube(&inst, 0)
+            .unwrap()
+            .rounds();
+        sparse_pts.push((n as f64, rounds as f64));
+        t3.row(&[
+            n.to_string(),
+            d_fixed.to_string(),
+            rounds.to_string(),
+            format!("{:.0}", d_fixed as f64 * (n as f64).powf(1.0 / 3.0)),
+        ]);
+    }
+    let (sparse_e, _) = fit_exponent(&sparse_pts);
+    println!("\nfitted exponent in n at fixed d: {sparse_e:.3} (theory: 1/3 = 0.333)\n");
+
+    // ---- Measured dense FIELD row: executable distributed Strassen -----------
+    println!("\n## Measured dense field engine: distributed Strassen (ω = 2.807, executable)\n");
+    let t4 = TablePrinter::new(
+        &["n", "strassen", "cube", "n^1.288", "n^4/3"],
+        &[6, 9, 8, 8, 8],
+    );
+    let mut str_pts = Vec::new();
+    for n in [7usize, 49] {
+        let full = lowband_matrix::Support::full(n, n);
+        let inst = lowband_core::Instance::balanced(full.clone(), full.clone(), full);
+        let strassen = lowband_core::strassen::solve_strassen(&inst, 0)
+            .unwrap()
+            .rounds();
+        let cube = lowband_core::algorithms::solve_dense_cube(&inst, 0)
+            .unwrap()
+            .rounds();
+        str_pts.push((n as f64, strassen as f64));
+        t4.row(&[
+            n.to_string(),
+            strassen.to_string(),
+            cube.to_string(),
+            format!("{:.0}", (n as f64).powf(1.288)),
+            format!("{:.0}", (n as f64).powf(4.0 / 3.0)),
+        ]);
+    }
+    let (str_e, _) = fit_exponent(&str_pts);
+    println!(
+        "\nfitted growth exponent: {str_e:.3} (theory 2−2/ω = 1.288; padding and the\n\
+         8-phase constant inflate small sizes — the cube keeps better constants, the\n\
+         recursion keeps the better exponent)\n"
+    );
+
+    println!("\n## Fitted exponents (rounds ~ c·d^e over the sweep above)\n");
+    let t = TablePrinter::new(&["algorithm", "fitted e", "paper bound"], &[26, 10, 14]);
+    for (name, pts, bound) in [
+        ("trivial", &trivial_pts, "2.000"),
+        ("Lemma 3.1 (κ = d²)", &lemma_pts, "2.000"),
+        ("two-phase, cube engine", &cube_pts, "λ = 1.333"),
+        ("two-phase, strassen exec", &strassen_pts, "λ = 1.288"),
+        ("two-phase, fast-field", &fast_pts, "1.157 (dense part)"),
+    ] {
+        let (e, _) = fit_exponent(pts);
+        t.row(&[name.into(), format!("{e:.3}"), bound.into()]);
+    }
+    println!(
+        "\nNote: on the fully clustered workload the two-phase cost is pure dense-engine\n\
+         cost, so the fitted exponent tracks the engine's λ, not the worst-case 1.867 —\n\
+         the worst-case exponent is the max over workloads of phase-1/phase-2 splits\n\
+         (see EXPERIMENTS.md, E1). Strassen's implementable ω = {OMEGA_STRASSEN} gives\n\
+         λ = {:.3} as a realizable field engine.",
+        lambda_field(OMEGA_STRASSEN)
+    );
+}

@@ -1,0 +1,155 @@
+//! Regenerate **Table 2** — the near-complete classification — and validate
+//! every band empirically: measured upper bounds from live simulation,
+//! lower bounds from the executable certificates.
+//!
+//! ```text
+//! cargo run -p lowband-bench --release --bin table2
+//! ```
+
+use lowband_bench::{bd_as_as_workload, mixed_workload, us_as_gm_workload, TablePrinter};
+use lowband_core::classify::{all_multisets, classify, Band};
+use lowband_core::densemm::DenseEngine;
+use lowband_core::{run_algorithm, Algorithm};
+use lowband_lower::gadgets::{rs_cs_gadget, us_gm_gadget};
+use lowband_lower::{
+    broadcast_lower_bound, broadcast_upper_bound, dense_via_as_reduction, max_foreign_values,
+};
+use lowband_matrix::Fp;
+
+fn main() {
+    println!("# Table 2 — classification of sparse matrix multiplication tasks\n");
+    let t = TablePrinter::new(
+        &["task", "band", "upper bound", "lower bound"],
+        &[14, 12, 16, 28],
+    );
+    for ms in all_multisets() {
+        let c = classify(ms);
+        let band = match c.band {
+            Band::Fast => "fast",
+            Band::General => "general",
+            Band::Outlier => "outlier",
+            Band::RootN => "√n-hard",
+            Band::Conditional => "conditional",
+            Band::Open => "open",
+        };
+        t.row(&[
+            format!("[{}:{}:{}]", ms[0], ms[1], ms[2]),
+            band.into(),
+            c.upper_bound().into(),
+            c.lower_bound().into(),
+        ]);
+    }
+
+    // ---- Band 1: fast ------------------------------------------------------
+    println!("\n## Band 1 (fast): [US:US:AS] via Theorem 4.2, verified run\n");
+    let d = 8;
+    let inst = mixed_workload(8, d, 7);
+    let report = run_algorithm::<Fp>(
+        &inst,
+        Algorithm::TwoPhase {
+            d: d + 2,
+            engine: DenseEngine::Cube3d,
+        },
+        11,
+    )
+    .unwrap();
+    println!(
+        "n = {}, d = {}: {} rounds, {} messages, verified = {}",
+        inst.n,
+        d + 2,
+        report.rounds,
+        report.messages,
+        report.correct
+    );
+    assert!(report.correct);
+
+    // ---- Band 2: general ----------------------------------------------------
+    println!("\n## Band 2 (general): O(d² + log n) via Theorems 5.3 / 5.11, verified runs\n");
+    let t = TablePrinter::new(
+        &["task", "n", "d", "rounds", "d²+log₂n", "ratio", "ok"],
+        &[12, 6, 4, 8, 10, 7, 4],
+    );
+    for (name, inst, d) in [
+        ("[US:AS:GM]", us_as_gm_workload(64, 3, 8), 3usize),
+        ("[US:AS:GM]", us_as_gm_workload(128, 3, 9), 3),
+        ("[BD:AS:AS]", bd_as_as_workload(64, 3, 10), 3),
+        ("[BD:AS:AS]", bd_as_as_workload(128, 3, 11), 3),
+    ] {
+        let report = run_algorithm::<Fp>(&inst, Algorithm::BoundedTriangles, 12).unwrap();
+        let envelope = (d * d) as f64 + (inst.n as f64).log2();
+        t.row(&[
+            name.into(),
+            inst.n.to_string(),
+            d.to_string(),
+            report.rounds.to_string(),
+            format!("{envelope:.0}"),
+            format!("{:.1}", report.rounds as f64 / envelope),
+            if report.correct { "yes" } else { "NO" }.into(),
+        ]);
+        assert!(report.correct);
+    }
+    println!("\nΩ(log n) side (Theorem 6.15, via Lemmas 6.5/6.13): broadcast sandwich\n");
+    let t = TablePrinter::new(&["n", "LB ⌈log₃n⌉", "UB ⌈log₂n⌉"], &[8, 12, 12]);
+    for n in [64usize, 1024, 65536] {
+        t.row(&[
+            n.to_string(),
+            broadcast_lower_bound(n).to_string(),
+            broadcast_upper_bound(n).to_string(),
+        ]);
+    }
+
+    // ---- Band 3: outlier ------------------------------------------------------
+    println!("\n## Outlier [US:US:GM]: paper lists O(d⁴) trivial; measured remark (E3)\n");
+    let inst = lowband_bench::us_as_gm_workload(48, 3, 13); // B is AS ⊇ US draw
+    let report = run_algorithm::<Fp>(&inst, Algorithm::BoundedTriangles, 14).unwrap();
+    println!(
+        "our Lemma 3.1 pipeline runs the [US:US:GM]-shaped instance in {} rounds\n\
+         (κ ≤ d², verified = {}) — see EXPERIMENTS.md remark E3 on the gap to the\n\
+         paper's O(d⁴) entry.",
+        report.rounds, report.correct
+    );
+
+    // ---- Band 4: √n-hard ----------------------------------------------------
+    println!("\n## Band 4 (√n-hard): certified foreign-value bounds (Theorem 6.27)\n");
+    let t = TablePrinter::new(
+        &["gadget", "n", "√n", "certificate", "measured UB"],
+        &[12, 6, 6, 12, 12],
+    );
+    for n in [64usize, 144, 256] {
+        for (name, g) in [("US×GM=GM", us_gm_gadget(n)), ("RS×CS=GM", rs_cs_gadget(n))] {
+            let cert = max_foreign_values(&g);
+            let ub = lowband_bench::lemma31_rounds(&g, None);
+            t.row(&[
+                name.into(),
+                n.to_string(),
+                ((n as f64).sqrt() as usize).to_string(),
+                cert.to_string(),
+                ub.to_string(),
+            ]);
+            assert!(cert >= (n as f64).sqrt() as usize);
+        }
+    }
+
+    // ---- Band 5: conditional ---------------------------------------------------
+    println!("\n## Band 5 (conditional): dense packing reduction (Theorem 6.19)\n");
+    let t = TablePrinter::new(
+        &["m", "n = m²", "T(n)", "T'(m)=m·T(n)", "m^λ (λ=4/3)", "ok"],
+        &[4, 8, 8, 14, 12, 4],
+    );
+    for m in [4usize, 8, 12, 16] {
+        let r = dense_via_as_reduction(m, 15).unwrap();
+        t.row(&[
+            m.to_string(),
+            r.n.to_string(),
+            r.inner_rounds.to_string(),
+            r.simulated_rounds.to_string(),
+            format!("{:.0}", (m as f64).powf(4.0 / 3.0)),
+            if r.correct { "yes" } else { "NO" }.into(),
+        ]);
+        assert!(r.correct);
+    }
+    println!(
+        "\nT'(m) stays well above m^λ — consistent with Theorem 6.19: an [AS:AS:AS]\n\
+         solver fast enough to push T'(m) below m^λ would be a dense-MM breakthrough."
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerate **Table 3** — the semiring parameter schedule of Lemma 4.13 —
+//! from the optimizer recurrence, next to the paper's printed values.
+//!
+//! ```text
+//! cargo run -p lowband-bench --release --bin table3
+//! ```
+
+use lowband_bench::TablePrinter;
+use lowband_core::optimizer::{schedule, Phase2, LAMBDA_SEMIRING};
+
+const PAPER: [(f64, f64, f64, f64, f64); 4] = [
+    (0.00001, 0.00000, 0.10672, 1.86698, 1.89328),
+    (0.00001, 0.10672, 0.12806, 1.86696, 1.87194),
+    (0.00001, 0.12806, 0.13233, 1.86697, 1.86767),
+    (0.00001, 0.13233, 0.13319, 1.86700, 1.86681),
+];
+
+fn main() {
+    println!("# Table 3 — parameters for the proof of Lemma 4.13 (semirings)\n");
+    println!("recurrence: ε_t = (A − λ − 4δ + γ_t)/5, γ_(t+1) = ε_t, with A = 1.867, λ = 4/3\n");
+    let s = schedule(LAMBDA_SEMIRING, 0.00001, 1.867, Phase2::ThisWork);
+    let t = TablePrinter::new(
+        &["step", "δ", "γ", "ε", "α", "β", "paper ε", "|Δε|"],
+        &[4, 8, 8, 8, 8, 8, 8, 9],
+    );
+    for (i, row) in s.steps.iter().enumerate() {
+        let paper_eps = PAPER.get(i).map(|p| p.2).unwrap_or(f64::NAN);
+        t.row(&[
+            (i + 1).to_string(),
+            format!("{:.5}", row.delta),
+            format!("{:.5}", row.gamma),
+            format!("{:.5}", row.eps),
+            format!("{:.5}", row.alpha),
+            format!("{:.5}", row.beta),
+            format!("{paper_eps:.5}"),
+            format!("{:.1e}", (row.eps - paper_eps).abs()),
+        ]);
+    }
+    assert_eq!(s.steps.len(), 4, "paper's Table 3 has four steps");
+    let max_dev = s
+        .steps
+        .iter()
+        .zip(&PAPER)
+        .map(|(r, p)| (r.eps - p.2).abs())
+        .fold(0.0f64, f64::max)
+        .max(
+            s.steps
+                .iter()
+                .zip(&PAPER)
+                .map(|(r, p)| (r.beta - p.4).abs())
+                .fold(0.0f64, f64::max),
+        );
+    println!("\nmax deviation from the paper's printed table: {max_dev:.2e}");
+    println!(
+        "overall exponent: every pass ≤ O(d^{:.3}) and the residual (β = {:.5}) is\n\
+         processed by Lemma 3.1 within the same budget — Theorem 4.2's O(d^1.867).",
+        s.exponent,
+        s.steps.last().unwrap().beta
+    );
+}

@@ -1,0 +1,21 @@
+//! The end-to-end multiplication algorithms.
+//!
+//! * [`trivial`] — the naive per-triangle baselines the paper measures
+//!   against (`O(d²)` for `[US:US:US]`);
+//! * [`bounded_triangles`] — Theorems 5.3 / 5.11: any instance whose
+//!   triangle count is `O(d²n)` in `O(d² + log n)` rounds via Lemma 3.1;
+//! * [`two_phase`] — Theorem 4.2: the `O(d^{1.867})` / `O(d^{1.832})`
+//!   algorithm for `[US:US:AS]` combining cluster extraction + dense
+//!   processing (phase 1) with Lemma 3.1 (phase 2);
+//! * [`dense`] — the full-network `O(n^{4/3})` cube multiplication (the
+//!   dense baseline row of Table 1).
+
+pub mod bounded_triangles;
+pub mod dense;
+pub mod trivial;
+pub mod two_phase;
+
+pub use bounded_triangles::solve_bounded_triangles;
+pub use dense::solve_dense_cube;
+pub use trivial::solve_trivial;
+pub use two_phase::{solve_two_phase, TwoPhaseReport};

@@ -1,0 +1,294 @@
+//! The Table 2 classification: which band a `[X:Y:Z]` task falls into.
+//!
+//! Following §1.3, the input is a *multiset* of three sparsity families
+//! (the bracket `[X:Y:Z]` covers all six role assignments), and the output
+//! is the paper's near-complete classification:
+//!
+//! 1. **Fast** — `O(d^{1.867})` semirings / `O(d^{1.832})` fields
+//!    (Theorem 4.2); lower bound `Ω(d^λ)` (trivial dense packing).
+//! 2. **General** — upper `O(d² + log n)` (Theorems 5.3/5.11); lower
+//!    `Ω(log n)` (Theorem 6.15, for the permutations its gadget covers) and
+//!    `Ω(d^λ)`.
+//! 3. **Outlier** — `[US:US:GM]`: the paper lists only the trivial `O(d⁴)`
+//!    upper bound (see EXPERIMENTS.md remark E3 for what our implementation
+//!    measures).
+//! 4. **RootN** — `Ω(√n)` (Theorem 6.27, for covered permutations).
+//! 5. **Conditional** — `Ω(n^{(λ−1)/2})` unless dense matrix multiplication
+//!    improves (Theorem 6.19).
+
+use lowband_matrix::SparsityClass;
+
+/// The band of Table 2 a task multiset falls into.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Band {
+    /// `O(d^{1.867})` / `O(d^{1.832})` upper bound (Theorem 4.2).
+    Fast,
+    /// `O(d² + log n)` upper, `Ω(log n)` lower.
+    General,
+    /// The `[US:US:GM]` outlier (trivial `O(d⁴)` upper in the paper).
+    Outlier,
+    /// `Ω(√n)` lower bound (Theorem 6.27).
+    RootN,
+    /// Conditional lower bound via dense MM (Theorem 6.19).
+    Conditional,
+    /// Not covered by any of the paper's theorems (possible for the RS/CS
+    /// refinements, which Table 2 does not enumerate).
+    Open,
+}
+
+/// Full classification result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Classification {
+    /// The band.
+    pub band: Band,
+    /// Does the `Ω(log n)` lower bound of Theorem 6.15 apply (for at least
+    /// one permutation)?
+    pub omega_log_n: bool,
+}
+
+impl Classification {
+    /// Human-readable upper bound, as printed in Table 2 (semiring column).
+    pub fn upper_bound(&self) -> &'static str {
+        match self.band {
+            Band::Fast => "O(d^1.867)",
+            Band::General => "O(d^2 + log n)",
+            Band::Outlier => "O(d^4) trivial",
+            Band::RootN | Band::Conditional | Band::Open => "—",
+        }
+    }
+
+    /// Human-readable lower bound, as printed in Table 2.
+    pub fn lower_bound(&self) -> &'static str {
+        match self.band {
+            Band::Fast | Band::Outlier => "Ω(d^λ)",
+            Band::General => "Ω(d^λ), Ω(log n)",
+            Band::RootN => "Ω(√n)",
+            Band::Conditional => "Ω(n^(λ−1)/2) conditional",
+            Band::Open => "Ω(d^λ)",
+        }
+    }
+}
+
+fn leq(a: SparsityClass, b: SparsityClass) -> bool {
+    a.is_subclass_of(b)
+}
+
+/// Classify a task multiset into its Table 2 band.
+pub fn classify(classes: [SparsityClass; 3]) -> Classification {
+    use SparsityClass::*;
+    let count = |p: &dyn Fn(SparsityClass) -> bool| classes.iter().filter(|&&c| p(c)).count();
+    let n_us = count(&|c| c == Us);
+    let n_gm = count(&|c| c == Gm);
+    let n_le_as = count(&|c| leq(c, As));
+    let n_ge_bd = count(&|c| leq(Bd, c)); // c ∈ {BD, AS, GM}
+
+    // Ω(log n) (Theorem 6.15): the sum/broadcast gadgets need two matrices
+    // that admit a dense row / dense column, i.e. two classes ⊇ BD.
+    let omega_log_n = n_ge_bd >= 2;
+
+    // 1. Theorem 4.2: two US roles, third ⊆ AS.
+    if n_us >= 2 && n_le_as == 3 {
+        return Classification {
+            band: Band::Fast,
+            omega_log_n,
+        };
+    }
+    // 3. The outlier [US:US:GM].
+    if n_us == 2 && n_gm == 1 {
+        return Classification {
+            band: Band::Outlier,
+            omega_log_n,
+        };
+    }
+    // 2a. Theorem 5.3: one role ⊆ US, another ⊆ AS (third arbitrary).
+    let thm53 =
+        n_us >= 1 && classes.iter().filter(|&&c| c != Us).any(|&c| leq(c, As)) || (n_us >= 2); // two US: the second serves as the AS role
+                                                                                               // 2b. Theorem 5.11: one role ⊆ BD, other two ⊆ AS.
+    let thm511 = classes.iter().enumerate().any(|(idx, &c)| {
+        leq(c, Bd)
+            && classes
+                .iter()
+                .enumerate()
+                .filter(|&(other, _)| other != idx)
+                .all(|(_, &o)| leq(o, As))
+    });
+    if thm53 || thm511 {
+        return Classification {
+            band: Band::General,
+            omega_log_n,
+        };
+    }
+    // 4. Theorem 6.27. Lemma 6.21's gadget needs two GM roles (banded
+    //    US(2) × general = general); Lemma 6.23's needs one GM output plus
+    //    one role admitting a dense column (class ⊇ RS) and one admitting a
+    //    dense row (class ⊇ CS).
+    let rootn_6_21 = n_gm >= 2;
+    let rootn_6_23 = n_gm >= 1 && {
+        // Pick out the non-GM pair (or a GM doubling as either side).
+        let rest: Vec<SparsityClass> = {
+            let mut v = classes.to_vec();
+            let pos = v.iter().position(|&c| c == Gm).unwrap();
+            v.remove(pos);
+            v
+        };
+        (leq(Rs, rest[0]) && leq(Cs, rest[1])) || (leq(Rs, rest[1]) && leq(Cs, rest[0]))
+    };
+    if rootn_6_21 || (n_gm >= 1 && rootn_6_23) {
+        return Classification {
+            band: Band::RootN,
+            omega_log_n,
+        };
+    }
+    // 5. Theorem 6.19: the dense-block gadget fits iff every role is ⊇ AS.
+    if classes.iter().all(|&c| leq(As, c)) {
+        return Classification {
+            band: Band::Conditional,
+            omega_log_n,
+        };
+    }
+    // Not covered by any theorem (possible only for RS/CS refinements).
+    Classification {
+        band: Band::Open,
+        omega_log_n,
+    }
+}
+
+/// Classify a concrete instance at sparsity parameter `d`: each support is
+/// profiled and mapped to its tightest family, then the multiset is looked
+/// up in Table 2.
+pub fn classify_instance(inst: &crate::instance::Instance, d: usize) -> Classification {
+    use lowband_matrix::SparsityProfile;
+    let classes = [
+        SparsityProfile::of(&inst.ahat).tightest_class(d),
+        SparsityProfile::of(&inst.bhat).tightest_class(d),
+        SparsityProfile::of(&inst.xhat).tightest_class(d),
+    ];
+    classify(classes)
+}
+
+/// All 20 multisets over `{US, BD, AS, GM}`, in Table 2 order-ish.
+pub fn all_multisets() -> Vec<[SparsityClass; 3]> {
+    use SparsityClass::*;
+    let order = [Us, Bd, As, Gm];
+    let mut out = Vec::new();
+    for (ai, &a) in order.iter().enumerate() {
+        for (bi, &b) in order.iter().enumerate().skip(ai) {
+            for &c in order.iter().skip(bi) {
+                out.push([a, b, c]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SparsityClass::*;
+
+    #[test]
+    fn paper_examples() {
+        // §1.3's four example rows.
+        assert_eq!(classify([Us, Us, As]).band, Band::Fast);
+        assert_eq!(classify([Bd, Bd, Bd]).band, Band::General);
+        assert_eq!(classify([Bd, Bd, Gm]).band, Band::RootN);
+        assert_eq!(classify([As, As, As]).band, Band::Conditional);
+        assert_eq!(classify([Us, Us, Gm]).band, Band::Outlier);
+    }
+
+    #[test]
+    fn table2_block_boundaries() {
+        // Fast block: [US:US:US] … [US:US:AS].
+        assert_eq!(classify([Us, Us, Us]).band, Band::Fast);
+        assert_eq!(classify([Us, Us, Bd]).band, Band::Fast);
+        // General block: [US:BD:BD] … [US:AS:GM] and [BD:BD:BD] … [BD:AS:AS].
+        assert_eq!(classify([Us, Bd, Bd]).band, Band::General);
+        assert_eq!(classify([Us, As, Gm]).band, Band::General);
+        assert_eq!(classify([Us, Bd, Gm]).band, Band::General);
+        assert_eq!(classify([Bd, As, As]).band, Band::General);
+        assert_eq!(classify([Bd, Bd, As]).band, Band::General);
+        // RootN block: [US:GM:GM] … and [BD:BD:GM] ….
+        assert_eq!(classify([Us, Gm, Gm]).band, Band::RootN);
+        assert_eq!(classify([Bd, As, Gm]).band, Band::RootN);
+        assert_eq!(classify([As, As, Gm]).band, Band::RootN);
+        assert_eq!(classify([Gm, Gm, Gm]).band, Band::RootN);
+        assert_eq!(classify([Bd, Gm, Gm]).band, Band::RootN);
+        assert_eq!(classify([As, Gm, Gm]).band, Band::RootN);
+    }
+
+    #[test]
+    fn log_lower_bound_flag() {
+        assert!(classify([Us, Bd, Bd]).omega_log_n);
+        assert!(classify([Bd, Bd, Bd]).omega_log_n);
+        assert!(!classify([Us, Us, Us]).omega_log_n);
+        assert!(!classify([Us, Us, Bd]).omega_log_n, "only one class ⊇ BD");
+        assert!(classify([Us, As, Gm]).omega_log_n);
+    }
+
+    #[test]
+    fn rs_cs_refinements() {
+        // RS/CS sit strictly between US and BD.
+        assert_eq!(classify([Rs, Rs, Rs]).band, Band::General);
+        assert_eq!(classify([Us, Rs, Cs]).band, Band::General);
+        assert_eq!(
+            classify([Rs, Cs, Gm]).band,
+            Band::RootN,
+            "Lemma 6.23's RS×CS=GM"
+        );
+        assert_eq!(classify([Us, Us, Cs]).band, Band::Fast);
+        // Neither gadget fits [RS:RS:GM]: no dense row is RS, and the
+        // conditional dense block is not RS either — a genuine gap.
+        assert_eq!(classify([Rs, Rs, Gm]).band, Band::Open);
+    }
+
+    #[test]
+    fn every_multiset_is_classified() {
+        let all = all_multisets();
+        assert_eq!(all.len(), 20);
+        let mut bands = std::collections::HashMap::new();
+        for ms in all {
+            *bands.entry(classify(ms).band).or_insert(0usize) += 1;
+        }
+        // Every band except (possibly) none is inhabited.
+        assert!(bands[&Band::Fast] >= 3);
+        assert!(bands[&Band::General] >= 6);
+        assert_eq!(bands[&Band::Outlier], 1);
+        assert!(bands[&Band::RootN] >= 5);
+        assert!(bands[&Band::Conditional] >= 1);
+    }
+
+    #[test]
+    fn classify_instance_profiles_supports() {
+        use crate::instance::Instance;
+        use lowband_matrix::{gen, Support};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let d = 4;
+        // A clean [US:US:US] instance.
+        let inst = Instance::new(
+            gen::uniform_sparse(32, d, &mut rng),
+            gen::uniform_sparse(32, d, &mut rng),
+            gen::uniform_sparse(32, d, &mut rng),
+        );
+        assert_eq!(classify_instance(&inst, d).band, Band::Fast);
+        // Dense X̂ pushes it to the outlier cell.
+        let inst = Instance::new(
+            gen::uniform_sparse(32, d, &mut rng),
+            gen::uniform_sparse(32, d, &mut rng),
+            Support::full(32, 32),
+        );
+        assert_eq!(classify_instance(&inst, d).band, Band::Outlier);
+        // All dense: the √n-hard block.
+        let full = Support::full(16, 16);
+        let inst = Instance::new(full.clone(), full.clone(), full);
+        assert_eq!(classify_instance(&inst, 2).band, Band::RootN);
+    }
+
+    #[test]
+    fn bound_strings_render() {
+        let c = classify([Us, Us, Us]);
+        assert!(c.upper_bound().contains("1.867"));
+        let c = classify([As, As, As]);
+        assert!(c.lower_bound().contains("conditional"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Instances of the distributed multiplication task and data placement.
+//!
+//! An [`Instance`] is the structural part of the task: the indicator
+//! matrices `Â`, `B̂`, `X̂` (§2.1) plus a [`Placement`] assigning each input
+//! and output element to a computer. The paper's default is "computer `i`
+//! holds row `i` of `A`, row `i` of `B`, and reports row `i` of `X`"; §2
+//! notes any placement is equivalent up to `O(d)` extra rounds, and for
+//! average-sparse matrices (where single rows may be huge) we use the
+//! balanced placement that gives every computer at most `⌈nnz/n⌉` elements.
+
+use std::collections::HashMap;
+
+use lowband_matrix::{SparseMatrix, Support};
+use lowband_model::{Key, Machine, NodeId, Semiring};
+
+/// Assignment of the elements of one matrix to computers.
+#[derive(Clone, Debug)]
+pub enum OwnerMap {
+    /// Element `(i, j)` lives on computer `i` (row placement).
+    ByRow,
+    /// Element `(i, j)` lives on computer `j` (column placement).
+    ByCol,
+    /// Explicit per-entry assignment.
+    Explicit(HashMap<(u32, u32), NodeId>),
+}
+
+impl OwnerMap {
+    /// The computer holding element `(i, j)`.
+    pub fn owner(&self, i: u32, j: u32) -> NodeId {
+        match self {
+            OwnerMap::ByRow => NodeId(i),
+            OwnerMap::ByCol => NodeId(j),
+            OwnerMap::Explicit(map) => *map
+                .get(&(i, j))
+                .unwrap_or_else(|| panic!("no owner recorded for entry ({i},{j})")),
+        }
+    }
+
+    /// Balanced assignment: entries in row-major order, `⌈nnz/n⌉` per
+    /// computer.
+    pub fn balanced(support: &Support, n: usize) -> OwnerMap {
+        let per = support.nnz().div_ceil(n).max(1);
+        let mut map = HashMap::with_capacity(support.nnz());
+        for (idx, (i, j)) in support.iter().enumerate() {
+            map.insert((i, j), NodeId((idx / per) as u32));
+        }
+        OwnerMap::Explicit(map)
+    }
+
+    /// Largest number of elements of `support` any computer holds.
+    pub fn max_load(&self, support: &Support, n: usize) -> usize {
+        let mut load = vec![0usize; n];
+        for (i, j) in support.iter() {
+            load[self.owner(i, j).index()] += 1;
+        }
+        load.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Placement of `A`, `B` and `X` elements on the `n` computers.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// Owner of each `A` element.
+    pub a: OwnerMap,
+    /// Owner of each `B` element.
+    pub b: OwnerMap,
+    /// Owner (reporter) of each `X` element.
+    pub x: OwnerMap,
+}
+
+impl Placement {
+    /// The paper's default: computer `i` holds row `i` of `A`, row `i` of
+    /// `B` (i.e. `B` entries `(j, k)` live on computer `j`), and reports row
+    /// `i` of `X`.
+    pub fn by_rows() -> Placement {
+        Placement {
+            a: OwnerMap::ByRow,
+            b: OwnerMap::ByRow,
+            x: OwnerMap::ByRow,
+        }
+    }
+
+    /// Balanced placement: each computer holds `⌈nnz/n⌉` elements of each
+    /// matrix — the right choice for `AS`/`GM` supports whose rows can be
+    /// arbitrarily heavy.
+    pub fn balanced(ahat: &Support, bhat: &Support, xhat: &Support, n: usize) -> Placement {
+        Placement {
+            a: OwnerMap::balanced(ahat, n),
+            b: OwnerMap::balanced(bhat, n),
+            x: OwnerMap::balanced(xhat, n),
+        }
+    }
+}
+
+/// The structural description of one multiplication task: supports plus
+/// placement on a network of `n` computers.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Network size (= matrix dimension in the paper's setting).
+    pub n: usize,
+    /// Indicator of `A` (`n × n`).
+    pub ahat: Support,
+    /// Indicator of `B` (`n × n`).
+    pub bhat: Support,
+    /// Entries of interest in `X` (`n × n`).
+    pub xhat: Support,
+    /// Data placement.
+    pub placement: Placement,
+}
+
+impl Instance {
+    /// Build an instance with the paper's row placement.
+    pub fn new(ahat: Support, bhat: Support, xhat: Support) -> Instance {
+        let n = ahat.rows();
+        assert_eq!(ahat.cols(), n, "instance matrices must be square n×n");
+        assert_eq!((bhat.rows(), bhat.cols()), (n, n));
+        assert_eq!((xhat.rows(), xhat.cols()), (n, n));
+        Instance {
+            n,
+            ahat,
+            bhat,
+            xhat,
+            placement: Placement::by_rows(),
+        }
+    }
+
+    /// Build an instance with balanced placement.
+    pub fn balanced(ahat: Support, bhat: Support, xhat: Support) -> Instance {
+        let mut inst = Instance::new(ahat, bhat, xhat);
+        inst.placement = Placement::balanced(&inst.ahat, &inst.bhat, &inst.xhat, inst.n);
+        inst
+    }
+
+    /// Largest number of `A` elements on any computer.
+    pub fn max_a_load(&self) -> usize {
+        self.placement.a.max_load(&self.ahat, self.n)
+    }
+
+    /// Largest number of `B` elements on any computer.
+    pub fn max_b_load(&self) -> usize {
+        self.placement.b.max_load(&self.bhat, self.n)
+    }
+
+    /// Largest number of `X` elements on any computer.
+    pub fn max_x_load(&self) -> usize {
+        self.placement.x.max_load(&self.xhat, self.n)
+    }
+
+    /// Load the runtime values of `A` and `B` into a fresh machine
+    /// according to the placement.
+    pub fn load_machine<S: Semiring>(
+        &self,
+        a: &SparseMatrix<S>,
+        b: &SparseMatrix<S>,
+    ) -> Machine<S> {
+        assert_eq!(a.support(), &self.ahat, "A values must match Â");
+        assert_eq!(b.support(), &self.bhat, "B values must match B̂");
+        let mut m = Machine::new(self.n);
+        for (i, j, v) in a.iter() {
+            m.load(
+                self.placement.a.owner(i, j),
+                Key::a(u64::from(i), u64::from(j)),
+                v.clone(),
+            );
+        }
+        for (j, k, v) in b.iter() {
+            m.load(
+                self.placement.b.owner(j, k),
+                Key::b(u64::from(j), u64::from(k)),
+                v.clone(),
+            );
+        }
+        m
+    }
+
+    /// Read the computed output `X` off a machine (entries of interest that
+    /// received no contribution are zero).
+    pub fn extract_x<S: Semiring>(&self, machine: &Machine<S>) -> SparseMatrix<S> {
+        SparseMatrix::from_fn(self.xhat.clone(), |i, k| {
+            machine.get_or_zero(
+                self.placement.x.owner(i, k),
+                Key::x(u64::from(i), u64::from(k)),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_model::algebra::Nat;
+
+    #[test]
+    fn row_placement_owners() {
+        let p = Placement::by_rows();
+        assert_eq!(p.a.owner(3, 5), NodeId(3));
+        assert_eq!(p.b.owner(3, 5), NodeId(3));
+        assert_eq!(p.x.owner(7, 0), NodeId(7));
+    }
+
+    #[test]
+    fn balanced_placement_bounds_load() {
+        // One very heavy row: row placement puts 16 entries on computer 0;
+        // balanced placement spreads them with max load ⌈16/8⌉ = 2.
+        let s = Support::from_entries(8, 8, (0..8u32).flat_map(|j| [(0, j), (1, j)]));
+        let by_row = OwnerMap::ByRow;
+        assert_eq!(by_row.max_load(&s, 8), 8);
+        let bal = OwnerMap::balanced(&s, 8);
+        assert_eq!(bal.max_load(&s, 8), 2);
+    }
+
+    #[test]
+    fn load_and_extract_roundtrip() {
+        let ahat = Support::identity(4);
+        let bhat = Support::identity(4);
+        let xhat = Support::identity(4);
+        let inst = Instance::new(ahat.clone(), bhat, xhat);
+        let a: SparseMatrix<Nat> = SparseMatrix::from_fn(ahat.clone(), |i, _| Nat(u64::from(i)));
+        let b: SparseMatrix<Nat> = SparseMatrix::from_fn(ahat, |i, _| Nat(u64::from(i) * 2));
+        let m = inst.load_machine(&a, &b);
+        assert_eq!(m.get(NodeId(2), Key::a(2, 2)), Some(&Nat(2)));
+        assert_eq!(m.get(NodeId(3), Key::b(3, 3)), Some(&Nat(6)));
+        // No X computed yet — extraction yields zeros.
+        let x = inst.extract_x(&m);
+        assert_eq!(x.get(1, 1), Nat(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rectangular_instance_rejected() {
+        let _ = Instance::new(
+            Support::empty(3, 4),
+            Support::empty(4, 4),
+            Support::empty(3, 4),
+        );
+    }
+
+    #[test]
+    fn column_placement() {
+        let m = OwnerMap::ByCol;
+        assert_eq!(m.owner(3, 5), NodeId(5));
+    }
+}

@@ -1,0 +1,535 @@
+//! Lemma 3.1: processing `κn` triangles in `O(κ + d + log m)` rounds.
+//!
+//! This is the paper's first contribution — the improved "few triangles"
+//! phase, replacing the `O(d^{2−ε/2})` second phase of SPAA 2022 with an
+//! optimal `O(d^{2−ε})` one. The algorithm, exactly as in §3:
+//!
+//! 1. **Virtual balanced instance** (§3.2): every `I`-side node `i` with
+//!    `t(i)` triangles is split into `⌈t(i)/κ⌉` virtual copies, each owning
+//!    at most `κ` triangles; virtual copies are mapped onto real computers
+//!    (at most `⌈|I′|/n⌉ ≤ 2` per computer), which simulate them with
+//!    constant overhead.
+//! 2. **Anchor-array routing** (§3.3): for each of the three matrix roles, a
+//!    lexicographically sorted array of triples (`(i,j,i′)` for `A`,
+//!    `(j,k,i′)` for `B`, `(i,k,i′)` for `X`) is chunked `κ` slots per
+//!    computer. For each pair `(u,v)` the first slot's computer is the
+//!    *anchor* `q(u,v)`, the last is `r(u,v)`:
+//!    * inputs route `p(u,v) → q(u,v)` (edge-colored, `max(d, κ)` rounds),
+//!    * the anchor kicks `q → q+1` (1 round), and the disjoint ranges
+//!      `[q+1, r]` run doubling broadcasts (`⌈log₂ m⌉` rounds),
+//!    * slot holders deliver to the virtual computers (`O(κ)` rounds).
+//! 3. Virtual computers multiply, and the `X` phase runs the whole pipeline
+//!    in reverse with convergecasts instead of broadcasts, finally
+//!    accumulating into the owners of `X` (`O(κ + d)` rounds).
+//!
+//! The returned [`Schedule`] is a complete certificate: executing it on a
+//! [`lowband_model::Machine`] both enforces the bandwidth constraint and
+//! produces the exact masked product.
+
+use lowband_model::{Key, LocalOp, Merge, ModelError, NodeId, Schedule, ScheduleBuilder, Transfer};
+use lowband_routing::{broadcast, convergecast, route, RangeTask};
+
+use crate::instance::Instance;
+use crate::triangles::Triangle;
+
+/// Scratch-key namespaces (offsets onto the caller-supplied base).
+const NS_VA: u64 = 0; // A value delivered to virtual computer, per triangle
+const NS_VB: u64 = 1; // B value delivered to virtual computer, per triangle
+const NS_PROD: u64 = 2; // product at virtual computer, per triangle
+const NS_XP: u64 = 3; // product delivered to X slot, per triangle
+const NS_XS: u64 = 4; // per-pair partial sum at X slot computers
+/// Number of key namespaces consumed by one [`process_triangles`] call;
+/// callers composing several invocations in one schedule must space their
+/// `ns_base` values at least this far apart.
+pub const NS_STRIDE: u64 = 5;
+
+/// One maximal run of equal-pair slots in a sorted triple array.
+struct PairRun {
+    first_slot: usize,
+    last_slot: usize,
+}
+
+/// A sorted, chunked triple array for one matrix role.
+struct TripleArray {
+    /// `(u, v, triangle-id)` sorted by `(u, v)`.
+    triples: Vec<(u32, u32, usize)>,
+    runs: Vec<PairRun>,
+    kappa: usize,
+}
+
+impl TripleArray {
+    fn build(mut triples: Vec<(u32, u32, usize)>, kappa: usize) -> TripleArray {
+        triples.sort_unstable();
+        let mut runs = Vec::new();
+        let mut start = 0usize;
+        for s in 1..=triples.len() {
+            let new_pair = s == triples.len()
+                || (triples[s].0, triples[s].1) != (triples[start].0, triples[start].1);
+            if new_pair {
+                runs.push(PairRun {
+                    first_slot: start,
+                    last_slot: s - 1,
+                });
+                start = s;
+            }
+        }
+        TripleArray {
+            triples,
+            runs,
+            kappa,
+        }
+    }
+
+    fn slot_computer(&self, slot: usize) -> NodeId {
+        NodeId((slot / self.kappa) as u32)
+    }
+
+    fn anchor(&self, run: &PairRun) -> NodeId {
+        self.slot_computer(run.first_slot)
+    }
+
+    fn last(&self, run: &PairRun) -> NodeId {
+        self.slot_computer(run.last_slot)
+    }
+
+    fn pair(&self, run: &PairRun) -> (u32, u32) {
+        let t = self.triples[run.first_slot];
+        (t.0, t.1)
+    }
+}
+
+/// Distribute one input matrix role along its triple array:
+/// owner → anchor → (kick + broadcast) → per-slot delivery to virtual hosts.
+#[allow(clippy::too_many_arguments)]
+fn distribute_input(
+    b: &mut ScheduleBuilder,
+    n: usize,
+    array: &TripleArray,
+    owner: impl Fn(u32, u32) -> NodeId,
+    value_key: impl Fn(u32, u32) -> Key,
+    host_of: &[NodeId],
+    tri_host: impl Fn(usize) -> usize,
+    deliver_key: impl Fn(usize) -> Key,
+) -> Result<(), ModelError> {
+    // 1. Owner → anchor.
+    let mut to_anchor = Vec::new();
+    for run in &array.runs {
+        let (u, v) = array.pair(run);
+        let src = owner(u, v);
+        let dst = array.anchor(run);
+        if src != dst {
+            to_anchor.push(Transfer {
+                src,
+                src_key: value_key(u, v),
+                dst,
+                dst_key: value_key(u, v),
+                merge: Merge::Overwrite,
+            });
+        }
+    }
+    b.extend(&route(n, &to_anchor)?)?;
+
+    // 2. Anchor kick q → q+1 for runs spanning several computers.
+    let mut kicks = Vec::new();
+    let mut ranges = Vec::new();
+    for run in &array.runs {
+        let q = array.anchor(run);
+        let r = array.last(run);
+        if r != q {
+            let (u, v) = array.pair(run);
+            kicks.push(Transfer {
+                src: q,
+                src_key: value_key(u, v),
+                dst: NodeId(q.0 + 1),
+                dst_key: value_key(u, v),
+                merge: Merge::Overwrite,
+            });
+            ranges.push(RangeTask {
+                start: NodeId(q.0 + 1),
+                len: r.0 - q.0,
+                key: value_key(u, v),
+            });
+        }
+    }
+    b.extend(&route(n, &kicks)?)?;
+
+    // 3. Parallel doubling broadcast over the disjoint ranges [q+1, r].
+    b.extend(&broadcast(n, &ranges)?)?;
+
+    // 4. Per-slot delivery to the virtual computer of each triangle.
+    let mut deliveries = Vec::new();
+    let mut local = Vec::new();
+    for (slot, &(u, v, tid)) in array.triples.iter().enumerate() {
+        let src = array.slot_computer(slot);
+        let dst = host_of[tri_host(tid)];
+        if src == dst {
+            local.push(LocalOp::Copy {
+                node: src,
+                dst: deliver_key(tid),
+                src: value_key(u, v),
+            });
+        } else {
+            deliveries.push(Transfer {
+                src,
+                src_key: value_key(u, v),
+                dst,
+                dst_key: deliver_key(tid),
+                merge: Merge::Overwrite,
+            });
+        }
+    }
+    b.compute(local)?;
+    b.extend(&route(n, &deliveries)?)?;
+    Ok(())
+}
+
+/// Process the given triangles: after executing the returned schedule, every
+/// product `A_ij · B_jk` of a listed triangle has been added into `X_ik` at
+/// its owner (`Key::x(i, k)`, [`Merge::Add`] semantics).
+///
+/// * `kappa` — workload bound; `|triangles| ≤ kappa · n` is required.
+/// * `ns_base` — base namespace for scratch keys (advance by [`NS_STRIDE`]
+///   between invocations sharing one machine).
+///
+/// Round cost: `O(kappa + L + log m)` where `L` is the maximum number of
+/// elements any computer owns (`d` in the paper's statement) and `m` the
+/// maximum pair multiplicity.
+pub fn process_triangles(
+    inst: &Instance,
+    triangles: &[Triangle],
+    kappa: usize,
+    ns_base: u64,
+) -> Result<Schedule, ModelError> {
+    let n = inst.n;
+    assert!(kappa >= 1, "kappa must be positive");
+    assert!(
+        triangles.len() <= kappa * n,
+        "lemma 3.1 requires |T| ≤ κn (|T| = {}, κn = {})",
+        triangles.len(),
+        kappa * n
+    );
+    let ns = |off: u64| ns_base + off;
+    let mut b = ScheduleBuilder::new(n);
+
+    // ---- §3.2: virtual balanced instance over the I side ----------------
+    // t(i) per I-node, then contiguous virtual copies each owning ≤ κ
+    // triangles. tri_virtual[tid] = dense index of the virtual node.
+    let mut t_count = vec![0u32; n];
+    for t in triangles {
+        t_count[t.i as usize] += 1;
+    }
+    let mut first_virtual = vec![0usize; n + 1];
+    for i in 0..n {
+        let copies = (t_count[i] as usize).div_ceil(kappa);
+        first_virtual[i + 1] = first_virtual[i] + copies;
+    }
+    let num_virtual = first_virtual[n];
+    // Assign triangle -> virtual copy by position within its i-group.
+    let mut seen = vec![0usize; n];
+    let mut tri_virtual = vec![0usize; triangles.len()];
+    for (tid, t) in triangles.iter().enumerate() {
+        let i = t.i as usize;
+        tri_virtual[tid] = first_virtual[i] + seen[i] / kappa;
+        seen[i] += 1;
+    }
+    // Host real computer of each virtual node: round-robin keeps at most
+    // ⌈|I′|/n⌉ ≤ 2 virtual nodes per computer.
+    let host_of: Vec<NodeId> = (0..num_virtual).map(|v| NodeId((v % n) as u32)).collect();
+
+    // ---- Phase A: triples (i, j, i′) sorted by (i, j) --------------------
+    let array_a = TripleArray::build(
+        triangles
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| (t.i, t.j, tid))
+            .collect(),
+        kappa,
+    );
+    distribute_input(
+        &mut b,
+        n,
+        &array_a,
+        |i, j| inst.placement.a.owner(i, j),
+        |i, j| Key::a(u64::from(i), u64::from(j)),
+        &host_of,
+        |tid| tri_virtual[tid],
+        |tid| Key::tmp(ns(NS_VA), tid as u64),
+    )?;
+
+    // ---- Phase B: triples (j, k, i′) sorted by (j, k) --------------------
+    let array_b = TripleArray::build(
+        triangles
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| (t.j, t.k, tid))
+            .collect(),
+        kappa,
+    );
+    distribute_input(
+        &mut b,
+        n,
+        &array_b,
+        |j, k| inst.placement.b.owner(j, k),
+        |j, k| Key::b(u64::from(j), u64::from(k)),
+        &host_of,
+        |tid| tri_virtual[tid],
+        |tid| Key::tmp(ns(NS_VB), tid as u64),
+    )?;
+
+    // ---- Products at the virtual computers (free local work) ------------
+    let mut muls = Vec::with_capacity(triangles.len());
+    for tid in 0..triangles.len() {
+        muls.push(LocalOp::Mul {
+            node: host_of[tri_virtual[tid]],
+            dst: Key::tmp(ns(NS_PROD), tid as u64),
+            lhs: Key::tmp(ns(NS_VA), tid as u64),
+            rhs: Key::tmp(ns(NS_VB), tid as u64),
+        });
+    }
+    b.compute(muls)?;
+
+    // ---- Phase X (converse of phase A): triples (i, k, i′) ---------------
+    let array_x = TripleArray::build(
+        triangles
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| (t.i, t.k, tid))
+            .collect(),
+        kappa,
+    );
+
+    // 1. Virtual computers deliver products to the slots of the X array.
+    let mut deliveries = Vec::new();
+    let mut local = Vec::new();
+    for (slot, &(_, _, tid)) in array_x.triples.iter().enumerate() {
+        let src = host_of[tri_virtual[tid]];
+        let dst = array_x.slot_computer(slot);
+        if src == dst {
+            local.push(LocalOp::Copy {
+                node: src,
+                dst: Key::tmp(ns(NS_XP), tid as u64),
+                src: Key::tmp(ns(NS_PROD), tid as u64),
+            });
+        } else {
+            deliveries.push(Transfer {
+                src,
+                src_key: Key::tmp(ns(NS_PROD), tid as u64),
+                dst,
+                dst_key: Key::tmp(ns(NS_XP), tid as u64),
+                merge: Merge::Overwrite,
+            });
+        }
+    }
+    b.compute(local)?;
+    b.extend(&route(n, &deliveries)?)?;
+
+    // 2. Local per-pair aggregation into the shared per-pair key.
+    let mut aggregates = Vec::new();
+    for (pair_id, run) in array_x.runs.iter().enumerate() {
+        for slot in run.first_slot..=run.last_slot {
+            let (_, _, tid) = array_x.triples[slot];
+            aggregates.push(LocalOp::AddAssign {
+                node: array_x.slot_computer(slot),
+                dst: Key::tmp(ns(NS_XS), pair_id as u64),
+                src: Key::tmp(ns(NS_XP), tid as u64),
+            });
+        }
+    }
+    b.compute(aggregates)?;
+
+    // 3. Convergecast over the disjoint ranges [q+1, r], then the reverse
+    //    kick q+1 → q (Merge::Add), so anchors hold the full pair sums.
+    let mut ranges = Vec::new();
+    let mut kicks = Vec::new();
+    for (pair_id, run) in array_x.runs.iter().enumerate() {
+        let q = array_x.anchor(run);
+        let r = array_x.last(run);
+        if r != q {
+            ranges.push(RangeTask {
+                start: NodeId(q.0 + 1),
+                len: r.0 - q.0,
+                key: Key::tmp(ns(NS_XS), pair_id as u64),
+            });
+            kicks.push(Transfer {
+                src: NodeId(q.0 + 1),
+                src_key: Key::tmp(ns(NS_XS), pair_id as u64),
+                dst: q,
+                dst_key: Key::tmp(ns(NS_XS), pair_id as u64),
+                merge: Merge::Add,
+            });
+        }
+    }
+    b.extend(&convergecast(n, &ranges)?)?;
+    b.extend(&route(n, &kicks)?)?;
+
+    // 4. Anchors accumulate the pair sums into the X owners.
+    let mut finals = Vec::new();
+    let mut local_finals = Vec::new();
+    for (pair_id, run) in array_x.runs.iter().enumerate() {
+        let (i, k) = array_x.pair(run);
+        let q = array_x.anchor(run);
+        let owner = inst.placement.x.owner(i, k);
+        if q == owner {
+            local_finals.push(LocalOp::AddAssign {
+                node: q,
+                dst: Key::x(u64::from(i), u64::from(k)),
+                src: Key::tmp(ns(NS_XS), pair_id as u64),
+            });
+        } else {
+            finals.push(Transfer {
+                src: q,
+                src_key: Key::tmp(ns(NS_XS), pair_id as u64),
+                dst: owner,
+                dst_key: Key::x(u64::from(i), u64::from(k)),
+                merge: Merge::Add,
+            });
+        }
+    }
+    b.compute(local_finals)?;
+    b.extend(&route(n, &finals)?)?;
+
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles::TriangleSet;
+    use lowband_matrix::{gen, reference_multiply, Fp, SparseMatrix, Support};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// End-to-end check: schedule output equals the reference product.
+    fn check_instance(inst: &Instance, kappa: usize, seed: u64) -> usize {
+        let ts = TriangleSet::enumerate(inst);
+        let schedule = process_triangles(inst, &ts.triangles, kappa, 0).unwrap();
+        let mut r = rng(seed);
+        let a: SparseMatrix<Fp> = SparseMatrix::randomize(inst.ahat.clone(), &mut r);
+        let b: SparseMatrix<Fp> = SparseMatrix::randomize(inst.bhat.clone(), &mut r);
+        let mut machine = inst.load_machine(&a, &b);
+        machine.run(&schedule).unwrap();
+        let got = inst.extract_x(&machine);
+        let want = reference_multiply(&a, &b, &inst.xhat);
+        assert_eq!(got, want);
+        schedule.rounds()
+    }
+
+    #[test]
+    fn identity_instance() {
+        let inst = Instance::new(
+            Support::identity(8),
+            Support::identity(8),
+            Support::identity(8),
+        );
+        check_instance(&inst, 1, 1);
+    }
+
+    #[test]
+    fn dense_small_instance() {
+        let n = 6;
+        let inst = Instance::new(
+            Support::full(n, n),
+            Support::full(n, n),
+            Support::full(n, n),
+        );
+        // n³ = 216 triangles, κ = 36.
+        check_instance(&inst, 36, 2);
+    }
+
+    #[test]
+    fn random_us_instance() {
+        let mut r = rng(3);
+        let n = 48;
+        let d = 4;
+        let ahat = gen::uniform_sparse(n, d, &mut r);
+        let bhat = gen::uniform_sparse(n, d, &mut r);
+        let xhat = gen::uniform_sparse(n, d, &mut r);
+        let inst = Instance::new(ahat, bhat, xhat);
+        let ts = TriangleSet::enumerate(&inst);
+        check_instance(&inst, ts.kappa(n), 4);
+    }
+
+    #[test]
+    fn unbalanced_instance_with_heavy_node() {
+        // One column of A participates in many triangles — exactly the
+        // unbalanced case the virtualization handles.
+        let n = 32;
+        let mut entries_a = Vec::new();
+        for i in 0..n as u32 {
+            entries_a.push((i, 0)); // heavy middle node j = 0
+        }
+        let ahat = Support::from_entries(n, n, entries_a);
+        let bhat = Support::from_entries(n, n, (0..n as u32).map(|k| (0, k)));
+        let xhat = Support::full(n, n);
+        let inst = Instance::new(ahat, bhat, xhat);
+        let ts = TriangleSet::enumerate(&inst);
+        assert_eq!(ts.len(), n * n, "all (i, 0, k) are triangles");
+        check_instance(&inst, ts.kappa(n), 5);
+    }
+
+    #[test]
+    fn kappa_too_small_is_rejected() {
+        let inst = Instance::new(
+            Support::full(4, 4),
+            Support::full(4, 4),
+            Support::full(4, 4),
+        );
+        let ts = TriangleSet::enumerate(&inst);
+        let result = std::panic::catch_unwind(|| {
+            let _ = process_triangles(&inst, &ts.triangles, 1, 0);
+        });
+        assert!(result.is_err(), "64 triangles with κ=1, n=4 must panic");
+    }
+
+    #[test]
+    fn empty_triangle_set_is_free() {
+        let inst = Instance::new(
+            Support::identity(4),
+            Support::identity(4),
+            Support::empty(4, 4),
+        );
+        let s = process_triangles(&inst, &[], 1, 0).unwrap();
+        assert_eq!(s.messages(), 0);
+    }
+
+    #[test]
+    fn balanced_placement_variant() {
+        let mut r = rng(6);
+        let n = 40;
+        let ahat = gen::average_sparse(n, 3, &mut r);
+        let bhat = gen::average_sparse(n, 3, &mut r);
+        let xhat = gen::average_sparse(n, 3, &mut r);
+        let inst = Instance::balanced(ahat, bhat, xhat);
+        let ts = TriangleSet::enumerate(&inst);
+        check_instance(&inst, ts.kappa(n).max(1), 7);
+    }
+
+    #[test]
+    fn rounds_scale_with_kappa_not_triangles() {
+        // Same instance, two κ values: larger κ means fewer virtual nodes
+        // but more rounds in the O(κ) delivery phases.
+        let mut r = rng(8);
+        let n = 64;
+        let ahat = gen::uniform_sparse(n, 6, &mut r);
+        let bhat = gen::uniform_sparse(n, 6, &mut r);
+        let xhat = gen::uniform_sparse(n, 6, &mut r);
+        let inst = Instance::new(ahat, bhat, xhat);
+        let ts = TriangleSet::enumerate(&inst);
+        if ts.len() < 2 * n {
+            return; // degenerate draw; nothing to compare
+        }
+        let tight = process_triangles(&inst, &ts.triangles, ts.kappa(n), 0)
+            .unwrap()
+            .rounds();
+        let loose = process_triangles(&inst, &ts.triangles, ts.len(), 0)
+            .unwrap()
+            .rounds();
+        assert!(
+            tight <= loose,
+            "balanced κ ({tight}) should not exceed degenerate κ ({loose})"
+        );
+    }
+}

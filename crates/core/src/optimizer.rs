@@ -1,0 +1,310 @@
+//! The parameter-schedule optimizer behind Lemma 4.13 and Tables 3–4.
+//!
+//! The two-phase algorithm repeatedly applies Lemma 4.11: starting from a
+//! pool of at most `d^{2−γ}n` triangles, one pass with parameter `ε`
+//! extracts `L ≤ 144·d^{5ε−γ+4δ}` clusterings (each processed in
+//! `O(d^λ)` rounds by Lemma 2.1, where `λ` is the dense multiplication
+//! exponent), leaving a residual of at most `d^{2−ε}n` triangles. The pass
+//! therefore costs `O(d^α)` rounds with
+//!
+//! ```text
+//! α = 5ε − γ + 4δ + λ,         β = 2 − ε   (new pool exponent)
+//! ```
+//!
+//! Given a target budget `A` per pass, the optimal choice is
+//! `ε = (A − λ − 4δ + γ) / 5`, and the next pass starts from `γ′ = ε`.
+//! The iteration converges to the fixed point `ε* = (A − λ − 4δ)/4`, and the
+//! residual can be handed to phase 2 once `β = 2 − ε ≤ A`:
+//!
+//! * with **this paper's phase 2** (Lemma 3.1, cost `d^{2−ε}` — linear in
+//!   the pool), feasibility requires `A ≥ (8 + λ + 4δ)/5`;
+//! * with the **prior phase 2** of SPAA 2022 (cost `d^{2−ε/2}`),
+//!   feasibility requires `A ≥ (16 + λ + 4δ)/9`.
+//!
+//! Plugging in `λ = 4/3` (semirings) and `λ = 2 − 2/ω = 1.156671…` (fields,
+//! `ω < 2.371552`) reproduces every exponent in Table 1:
+//!
+//! | phase 2 | semiring | field |
+//! |---|---|---|
+//! | prior (SPAA 2022) | 1.927 | 1.907 |
+//! | this work | **1.867** | **1.832** |
+
+/// The dense-multiplication exponent `λ` for semirings: `4/3` (Lemma 2.1).
+pub const LAMBDA_SEMIRING: f64 = 4.0 / 3.0;
+
+/// The matrix multiplication exponent `ω` from Vassilevska Williams, Xu, Xu,
+/// Zhou (SODA 2024), as cited by the paper.
+pub const OMEGA_PAPER: f64 = 2.371552;
+
+/// Strassen's implementable exponent.
+pub const OMEGA_STRASSEN: f64 = 2.8073549;
+
+/// The dense exponent `λ = 2 − 2/ω` for fields with the paper's `ω`.
+pub fn lambda_field(omega: f64) -> f64 {
+    2.0 - 2.0 / omega
+}
+
+/// Which second phase the schedule is optimized against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase2 {
+    /// Lemma 3.1 of this paper: `d^{2−ε}n` residual triangles cost
+    /// `O(d^{2−ε})` rounds.
+    ThisWork,
+    /// Lemma 5.1 of SPAA 2022: the same residual costs `O(d^{2−ε/2})`.
+    PriorWork,
+}
+
+impl Phase2 {
+    /// The residual-processing exponent for pool exponent `β = 2 − ε`.
+    pub fn residual_exponent(self, eps: f64) -> f64 {
+        match self {
+            Phase2::ThisWork => 2.0 - eps,
+            Phase2::PriorWork => 2.0 - eps / 2.0,
+        }
+    }
+
+    /// The smallest per-pass budget `A` for which the schedule converges.
+    pub fn minimal_feasible_alpha(self, lambda: f64, delta: f64) -> f64 {
+        match self {
+            Phase2::ThisWork => (8.0 + lambda + 4.0 * delta) / 5.0,
+            Phase2::PriorWork => (16.0 + lambda + 4.0 * delta) / 9.0,
+        }
+    }
+}
+
+/// One row of Table 3 / Table 4.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct StepRow {
+    /// Slack parameter `δ`.
+    pub delta: f64,
+    /// Incoming pool exponent deficit `γ` (pool ≤ `d^{2−γ}n`).
+    pub gamma: f64,
+    /// Chosen extraction parameter `ε`.
+    pub eps: f64,
+    /// Pass cost exponent `α = 5ε − γ + 4δ + λ`.
+    pub alpha: f64,
+    /// Outgoing pool exponent `β = 2 − ε`.
+    pub beta: f64,
+}
+
+/// A full parameter schedule.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParameterSchedule {
+    /// The per-pass rows.
+    pub steps: Vec<StepRow>,
+    /// The overall exponent: every pass and the final phase 2 stay within
+    /// `O(d^{exponent})` rounds.
+    pub exponent: f64,
+    /// The dense exponent `λ` used.
+    pub lambda: f64,
+    /// The phase-2 variant optimized against.
+    pub phase2: Phase2,
+}
+
+/// Compute the parameter schedule for budget `alpha_target`, stopping once
+/// the residual exponent `β` allows phase 2 within budget.
+///
+/// # Panics
+/// Panics if `alpha_target` is below the feasibility bound (the iteration
+/// would never terminate).
+pub fn schedule(lambda: f64, delta: f64, alpha_target: f64, phase2: Phase2) -> ParameterSchedule {
+    let feasible = phase2.minimal_feasible_alpha(lambda, delta);
+    assert!(
+        alpha_target >= feasible - 1e-12,
+        "budget d^{alpha_target} below the feasibility bound d^{feasible}"
+    );
+    let mut steps = Vec::new();
+    let mut gamma = 0.0f64;
+    // β ≤ A  ⇔  ε ≥ 2 − A (this work)   /   ε ≥ 2(2 − A) (prior work).
+    let eps_needed = match phase2 {
+        Phase2::ThisWork => 2.0 - alpha_target,
+        Phase2::PriorWork => 2.0 * (2.0 - alpha_target),
+    };
+    for _ in 0..64 {
+        let eps = (alpha_target - lambda - 4.0 * delta + gamma) / 5.0;
+        let alpha = 5.0 * eps - gamma + 4.0 * delta + lambda;
+        let beta = 2.0 - eps;
+        steps.push(StepRow {
+            delta,
+            gamma,
+            eps,
+            alpha,
+            beta,
+        });
+        if eps >= eps_needed - 1e-9 {
+            break;
+        }
+        gamma = eps;
+    }
+    ParameterSchedule {
+        steps,
+        exponent: alpha_target,
+        lambda,
+        phase2,
+    }
+}
+
+/// The minimal-budget schedule (the paper's choice): budget = feasibility
+/// bound rounded up at the given number of decimals (3 in the paper).
+pub fn optimal_schedule(lambda: f64, delta: f64, phase2: Phase2) -> ParameterSchedule {
+    let feasible = phase2.minimal_feasible_alpha(lambda, delta);
+    let rounded = (feasible * 1000.0).ceil() / 1000.0;
+    schedule(lambda, delta, rounded, phase2)
+}
+
+/// The four headline exponents of Table 1 (and the §1.2 progress figure).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HeadlineExponents {
+    /// `O(d^{1.927})` — prior work, semirings.
+    pub prior_semiring: f64,
+    /// `O(d^{1.907})` — prior work, fields.
+    pub prior_field: f64,
+    /// `O(d^{1.867})` — this work, semirings.
+    pub new_semiring: f64,
+    /// `O(d^{1.832})` — this work, fields.
+    pub new_field: f64,
+    /// `Ω(d^{1.333})` milestone (dense semiring lower frontier).
+    pub milestone_semiring: f64,
+    /// `Ω(d^{1.156})` milestone (dense field lower frontier).
+    pub milestone_field: f64,
+}
+
+/// Recompute all Table 1 exponents from the recurrences.
+pub fn headline_exponents(delta: f64) -> HeadlineExponents {
+    let lf = lambda_field(OMEGA_PAPER);
+    HeadlineExponents {
+        prior_semiring: Phase2::PriorWork.minimal_feasible_alpha(LAMBDA_SEMIRING, delta),
+        prior_field: Phase2::PriorWork.minimal_feasible_alpha(lf, delta),
+        new_semiring: Phase2::ThisWork.minimal_feasible_alpha(LAMBDA_SEMIRING, delta),
+        new_field: Phase2::ThisWork.minimal_feasible_alpha(lf, delta),
+        milestone_semiring: LAMBDA_SEMIRING,
+        milestone_field: lf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DELTA: f64 = 0.00001;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn table3_semiring_schedule_matches_paper() {
+        // Table 3 of the paper, 5-decimal values.
+        let s = schedule(LAMBDA_SEMIRING, DELTA, 1.867, Phase2::ThisWork);
+        let expect = [
+            (0.00000, 0.10672, 1.86698, 1.89328),
+            (0.10672, 0.12806, 1.86696, 1.87194),
+            (0.12806, 0.13233, 1.86697, 1.86767),
+            (0.13233, 0.13319, 1.86700, 1.86681),
+        ];
+        assert_eq!(s.steps.len(), 4, "paper's Table 3 has four steps");
+        for (row, &(gamma, eps, alpha, beta)) in s.steps.iter().zip(&expect) {
+            assert!(
+                close(row.gamma, gamma, 2e-5),
+                "γ: {} vs {}",
+                row.gamma,
+                gamma
+            );
+            assert!(close(row.eps, eps, 2e-5), "ε: {} vs {}", row.eps, eps);
+            assert!(
+                close(row.alpha, alpha, 5e-5),
+                "α: {} vs {}",
+                row.alpha,
+                alpha
+            );
+            assert!(close(row.beta, beta, 2e-5), "β: {} vs {}", row.beta, beta);
+        }
+    }
+
+    #[test]
+    fn table4_field_schedule_matches_paper() {
+        let s = schedule(lambda_field(OMEGA_PAPER), DELTA, 1.832, Phase2::ThisWork);
+        let expect = [
+            (0.00000, 0.13505, 1.83197, 1.86495),
+            (0.13505, 0.16206, 1.83197, 1.83794),
+            (0.16206, 0.16746, 1.83196, 1.83254),
+            (0.16746, 0.16854, 1.83196, 1.83146),
+        ];
+        assert_eq!(s.steps.len(), 4, "paper's Table 4 has four steps");
+        for (row, &(gamma, eps, alpha, beta)) in s.steps.iter().zip(&expect) {
+            assert!(close(row.gamma, gamma, 2e-5));
+            assert!(close(row.eps, eps, 2e-5));
+            assert!(close(row.alpha, alpha, 5e-5));
+            assert!(close(row.beta, beta, 2e-5));
+        }
+    }
+
+    #[test]
+    fn headline_exponents_match_table1() {
+        let h = headline_exponents(DELTA);
+        assert!(close(h.new_semiring, 1.8667, 1e-3), "{}", h.new_semiring);
+        assert!(close(h.new_field, 1.8313, 1e-3), "{}", h.new_field);
+        assert!(
+            close(h.prior_semiring, 1.9259, 1.5e-3),
+            "{}",
+            h.prior_semiring
+        );
+        assert!(close(h.prior_field, 1.9063, 1.5e-3), "{}", h.prior_field);
+        assert!(close(h.milestone_semiring, 1.3333, 1e-3));
+        assert!(close(h.milestone_field, 1.1567, 1e-3));
+    }
+
+    #[test]
+    fn paper_rounding_gives_printed_exponents() {
+        // Rounding the feasibility bounds to 3 decimals reproduces the
+        // exponents the paper prints.
+        let s1 = optimal_schedule(LAMBDA_SEMIRING, DELTA, Phase2::ThisWork);
+        assert!(close(s1.exponent, 1.867, 1e-9));
+        let s2 = optimal_schedule(lambda_field(OMEGA_PAPER), DELTA, Phase2::ThisWork);
+        assert!(close(s2.exponent, 1.832, 1e-9));
+        let s3 = optimal_schedule(LAMBDA_SEMIRING, DELTA, Phase2::PriorWork);
+        assert!(close(s3.exponent, 1.926, 1e-9), "{}", s3.exponent);
+        let s4 = optimal_schedule(lambda_field(OMEGA_PAPER), DELTA, Phase2::PriorWork);
+        assert!(close(s4.exponent, 1.907, 1e-9), "{}", s4.exponent);
+    }
+
+    #[test]
+    fn schedule_invariants() {
+        for &(lambda, phase2) in &[
+            (LAMBDA_SEMIRING, Phase2::ThisWork),
+            (lambda_field(OMEGA_PAPER), Phase2::ThisWork),
+            (LAMBDA_SEMIRING, Phase2::PriorWork),
+        ] {
+            let a = phase2.minimal_feasible_alpha(lambda, DELTA) + 0.002;
+            let s = schedule(lambda, DELTA, a, phase2);
+            for w in s.steps.windows(2) {
+                assert!(close(w[1].gamma, w[0].eps, 1e-12), "γ′ = ε chaining");
+                assert!(w[1].eps > w[0].eps, "ε strictly increases");
+            }
+            for row in &s.steps {
+                assert!(row.alpha <= a + 1e-9, "every pass within budget");
+                assert!(close(row.beta, 2.0 - row.eps, 1e-12));
+            }
+            let last = s.steps.last().unwrap();
+            assert!(
+                phase2.residual_exponent(last.eps) <= a + 1e-6,
+                "phase 2 within budget"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feasibility")]
+    fn infeasible_budget_panics() {
+        let _ = schedule(LAMBDA_SEMIRING, DELTA, 1.5, Phase2::ThisWork);
+    }
+
+    #[test]
+    fn strassen_lambda_is_implementable_alternative() {
+        let l = lambda_field(OMEGA_STRASSEN);
+        assert!(close(l, 1.2876, 1e-3), "{l}");
+        let s = optimal_schedule(l, DELTA, Phase2::ThisWork);
+        assert!(s.exponent < 1.867, "Strassen still beats the semiring path");
+        assert!(s.exponent > 1.832, "but not the galactic ω");
+    }
+}

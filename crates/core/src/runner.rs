@@ -1,0 +1,168 @@
+//! End-to-end execution: compile, load, run, verify.
+//!
+//! One call does the whole experiment pipeline for a single instance:
+//! compile the selected algorithm to a schedule, load random (seeded)
+//! values, execute on the simulated network, extract the output and check
+//! it against the sequential reference product. The returned [`RunReport`]
+//! is what the benches print.
+
+use lowband_matrix::algebra::SampleElement;
+use lowband_matrix::{reference_multiply, SparseMatrix};
+use lowband_model::{ModelError, Semiring};
+use rand::SeedableRng;
+
+use crate::algorithms::{
+    solve_bounded_triangles, solve_dense_cube, solve_trivial, solve_two_phase,
+};
+use crate::densemm::DenseEngine;
+use crate::instance::Instance;
+use crate::triangles::TriangleSet;
+
+/// Which algorithm to run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Algorithm {
+    /// Direct-fetch baseline ("trivial `O(d²)`").
+    Trivial,
+    /// Theorems 5.3/5.11: one Lemma 3.1 pass with `κ = ⌈|𝒯̂|/n⌉`.
+    BoundedTriangles,
+    /// Theorem 4.2 two-phase with the given dense engine.
+    TwoPhase {
+        /// Sparsity parameter `d` driving the cluster thresholds.
+        d: usize,
+        /// Dense cost model.
+        engine: DenseEngine,
+    },
+    /// Full-network `O(n^{4/3})` cube multiplication (dense baseline).
+    DenseCube,
+    /// Full-network distributed Strassen (`O(n^{1.288})` measured; requires
+    /// ring values — plain semirings fail at run time).
+    StrassenField,
+}
+
+/// The outcome of one verified run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Communication rounds actually executed.
+    pub rounds: usize,
+    /// Messages actually delivered.
+    pub messages: usize,
+    /// Modeled rounds (differs from `rounds` only for the fast-field
+    /// engine; see DESIGN.md §3).
+    pub modeled_rounds: f64,
+    /// Number of triangles in `𝒯̂`.
+    pub triangles: usize,
+    /// Whether the simulated output matched the reference product.
+    pub correct: bool,
+}
+
+/// Compile, execute with seeded random values of type `S`, verify.
+pub fn run_algorithm<S: Semiring + SampleElement>(
+    inst: &Instance,
+    algorithm: Algorithm,
+    seed: u64,
+) -> Result<RunReport, ModelError> {
+    let ts = TriangleSet::enumerate(inst);
+    let (schedule, modeled) = match algorithm {
+        Algorithm::Trivial => {
+            let s = solve_trivial(inst, &ts.triangles, 0)?;
+            let r = s.rounds() as f64;
+            (s, r)
+        }
+        Algorithm::BoundedTriangles => {
+            let (s, _) = solve_bounded_triangles(inst, 0)?;
+            let r = s.rounds() as f64;
+            (s, r)
+        }
+        Algorithm::TwoPhase { d, engine } => {
+            let report = solve_two_phase(inst, d, engine, 0)?;
+            let modeled = report.modeled_rounds;
+            (report.schedule, modeled)
+        }
+        Algorithm::DenseCube => {
+            let s = solve_dense_cube(inst, 0)?;
+            let r = s.rounds() as f64;
+            (s, r)
+        }
+        Algorithm::StrassenField => {
+            let s = crate::strassen::solve_strassen(inst, 0)?;
+            let r = s.rounds() as f64;
+            (s, r)
+        }
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
+    let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
+    let mut machine = inst.load_machine(&a, &b);
+    let stats = machine.run(&schedule)?;
+    let got = inst.extract_x(&machine);
+    let want = reference_multiply(&a, &b, &inst.xhat);
+    Ok(RunReport {
+        rounds: stats.rounds,
+        messages: stats.messages,
+        modeled_rounds: modeled,
+        triangles: ts.len(),
+        correct: got == want,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_matrix::{gen, Bool, Fp, MinPlus, Wrap64};
+    use rand::SeedableRng;
+
+    fn us_instance(n: usize, d: usize, seed: u64) -> Instance {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Instance::new(
+            gen::uniform_sparse(n, d, &mut rng),
+            gen::uniform_sparse(n, d, &mut rng),
+            gen::uniform_sparse(n, d, &mut rng),
+        )
+    }
+
+    #[test]
+    fn all_algorithms_agree_over_fp() {
+        let inst = us_instance(40, 3, 51);
+        for alg in [
+            Algorithm::Trivial,
+            Algorithm::BoundedTriangles,
+            Algorithm::TwoPhase {
+                d: 3,
+                engine: DenseEngine::Cube3d,
+            },
+        ] {
+            let report = run_algorithm::<Fp>(&inst, alg, 52).unwrap();
+            assert!(report.correct, "{alg:?} produced a wrong product");
+        }
+    }
+
+    #[test]
+    fn runs_over_every_semiring() {
+        let inst = us_instance(24, 3, 53);
+        assert!(
+            run_algorithm::<Bool>(&inst, Algorithm::BoundedTriangles, 54)
+                .unwrap()
+                .correct
+        );
+        assert!(
+            run_algorithm::<MinPlus>(&inst, Algorithm::BoundedTriangles, 55)
+                .unwrap()
+                .correct
+        );
+        assert!(
+            run_algorithm::<Wrap64>(&inst, Algorithm::BoundedTriangles, 56)
+                .unwrap()
+                .correct
+        );
+    }
+
+    #[test]
+    fn report_counts_are_plausible() {
+        let inst = us_instance(32, 3, 57);
+        let report = run_algorithm::<Fp>(&inst, Algorithm::BoundedTriangles, 58).unwrap();
+        assert!(report.rounds > 0);
+        assert!(report.messages > 0);
+        assert_eq!(report.modeled_rounds, report.rounds as f64);
+        assert!(report.triangles <= 9 * 32);
+    }
+}

@@ -1,0 +1,261 @@
+//! Triangles: the unit of work of every algorithm in the paper (§2.2).
+//!
+//! A triangle is a triple `{i, j, k}` with `Â_ij ≠ 0`, `B̂_jk ≠ 0`, and
+//! `X̂_ik ≠ 0`; *processing* it means adding `A_ij · B_jk` into `X_ik`.
+//! Processing all triangles of `𝒯̂` computes every entry of interest.
+//!
+//! The tripartite node set is `V = I ∪ J ∪ K` with `|I| = |J| = |K| = n`;
+//! [`TriNode`] tags an index with its part.
+
+use lowband_matrix::Support;
+
+use crate::instance::Instance;
+
+/// A triangle `(i, j, k)` of the tripartite support structure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Triangle {
+    /// Row index of `A` / row index of `X`.
+    pub i: u32,
+    /// Column index of `A` / row index of `B` (the middle index).
+    pub j: u32,
+    /// Column index of `B` / column index of `X`.
+    pub k: u32,
+}
+
+/// Which part of `V = I ∪ J ∪ K` a node belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Part {
+    /// Row side.
+    I,
+    /// Middle side.
+    J,
+    /// Column side.
+    K,
+}
+
+/// A node of the tripartite graph `G(𝒯)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TriNode {
+    /// Part of the tripartition.
+    pub part: Part,
+    /// Index within the part, `0..n`.
+    pub index: u32,
+}
+
+impl Triangle {
+    /// The three nodes of this triangle.
+    pub fn nodes(&self) -> [TriNode; 3] {
+        [
+            TriNode {
+                part: Part::I,
+                index: self.i,
+            },
+            TriNode {
+                part: Part::J,
+                index: self.j,
+            },
+            TriNode {
+                part: Part::K,
+                index: self.k,
+            },
+        ]
+    }
+}
+
+/// A set of triangles together with per-node statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TriangleSet {
+    /// The triangles, in enumeration order.
+    pub triangles: Vec<Triangle>,
+}
+
+impl TriangleSet {
+    /// Enumerate `𝒯̂` from an instance: for each `(i, j) ∈ Â` and
+    /// `(j, k) ∈ B̂`, keep `(i, j, k)` iff `(i, k) ∈ X̂`.
+    ///
+    /// Runs in `O(Σ_{(i,j)∈Â} |B̂ row j| )` time.
+    pub fn enumerate(inst: &Instance) -> TriangleSet {
+        TriangleSet::enumerate_supports(&inst.ahat, &inst.bhat, &inst.xhat)
+    }
+
+    /// Enumerate from raw supports.
+    pub fn enumerate_supports(ahat: &Support, bhat: &Support, xhat: &Support) -> TriangleSet {
+        let mut triangles = Vec::new();
+        for i in 0..ahat.rows() as u32 {
+            if xhat.row_nnz(i) == 0 {
+                continue;
+            }
+            for &j in ahat.row(i) {
+                for &k in bhat.row(j) {
+                    if xhat.contains(i, k) {
+                        triangles.push(Triangle { i, j, k });
+                    }
+                }
+            }
+        }
+        TriangleSet { triangles }
+    }
+
+    /// Number of triangles.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    /// Per-node triangle counts `t(v)` for all touched nodes, as three
+    /// dense arrays indexed by part.
+    pub fn node_counts(&self, n: usize) -> [Vec<u32>; 3] {
+        let mut counts = [vec![0u32; n], vec![0u32; n], vec![0u32; n]];
+        for t in &self.triangles {
+            counts[0][t.i as usize] += 1;
+            counts[1][t.j as usize] += 1;
+            counts[2][t.k as usize] += 1;
+        }
+        counts
+    }
+
+    /// Maximum per-node triangle count `max_v t(v)`.
+    pub fn max_node_count(&self, n: usize) -> usize {
+        self.node_counts(n)
+            .iter()
+            .flat_map(|c| c.iter())
+            .copied()
+            .max()
+            .unwrap_or(0) as usize
+    }
+
+    /// Maximum number of triangles sharing one *pair* of nodes — the `m` of
+    /// Lemma 3.1 (the log factor of the broadcast trees).
+    pub fn max_pair_count(&self) -> usize {
+        use std::collections::HashMap;
+        let mut counts: HashMap<(u8, u32, u32), u32> = HashMap::new();
+        for t in &self.triangles {
+            *counts.entry((0, t.i, t.j)).or_insert(0) += 1;
+            *counts.entry((1, t.j, t.k)).or_insert(0) += 1;
+            *counts.entry((2, t.i, t.k)).or_insert(0) += 1;
+        }
+        counts.into_values().max().unwrap_or(0) as usize
+    }
+
+    /// The balanced-workload parameter: `⌈|𝒯| / n⌉` (the κ for which
+    /// `|𝒯| ≤ κn` holds tightly).
+    pub fn kappa(&self, n: usize) -> usize {
+        self.len().div_ceil(n).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use lowband_matrix::gen;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn enumerate_single_triangle() {
+        let ahat = Support::from_entries(3, 3, vec![(0, 1)]);
+        let bhat = Support::from_entries(3, 3, vec![(1, 2)]);
+        let xhat = Support::from_entries(3, 3, vec![(0, 2)]);
+        let ts = TriangleSet::enumerate_supports(&ahat, &bhat, &xhat);
+        assert_eq!(ts.triangles, vec![Triangle { i: 0, j: 1, k: 2 }]);
+    }
+
+    #[test]
+    fn mask_prunes_triangles() {
+        let ahat = Support::from_entries(3, 3, vec![(0, 1)]);
+        let bhat = Support::from_entries(3, 3, vec![(1, 2)]);
+        let xhat = Support::from_entries(3, 3, vec![(1, 1)]); // unrelated
+        let ts = TriangleSet::enumerate_supports(&ahat, &bhat, &xhat);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn dense_instance_has_n_cubed_triangles() {
+        let full = Support::full(4, 4);
+        let ts = TriangleSet::enumerate_supports(&full, &full, &full);
+        assert_eq!(ts.len(), 64);
+        assert_eq!(ts.max_node_count(4), 16, "every node in 16 triangles");
+        assert_eq!(ts.max_pair_count(), 4, "each pair shares 4 triangles");
+    }
+
+    #[test]
+    fn lemma_4_3_us_us_as_bound() {
+        // Lemma 4.3: in a [US:US:AS] instance every node touches ≤ d²
+        // triangles; Corollary 4.6: total ≤ d²n.
+        let n = 64;
+        let d = 4;
+        let mut r = rng(11);
+        let ahat = gen::uniform_sparse(n, d, &mut r);
+        let bhat = gen::uniform_sparse(n, d, &mut r);
+        let xhat = gen::average_sparse(n, d, &mut r);
+        let ts = TriangleSet::enumerate_supports(&ahat, &bhat, &xhat);
+        assert!(ts.len() <= d * d * n);
+        assert!(ts.max_node_count(n) <= d * d);
+        // Corollary 4.5: per-pair count ≤ d².
+        assert!(ts.max_pair_count() <= d * d);
+    }
+
+    #[test]
+    fn lemma_5_1_us_as_gm_bound() {
+        // [US:AS:GM]: total triangles ≤ d²n even with X̂ fully dense.
+        let n = 32;
+        let d = 3;
+        let mut r = rng(12);
+        let ahat = gen::uniform_sparse(n, d, &mut r);
+        let bhat = gen::average_sparse(n, d, &mut r);
+        let xhat = Support::full(n, n);
+        let ts = TriangleSet::enumerate_supports(&ahat, &bhat, &xhat);
+        assert!(ts.len() <= d * d * n);
+    }
+
+    #[test]
+    fn lemma_5_9_bd_as_as_bound() {
+        // [BD:AS:AS]: total triangles ≤ 2d²n.
+        let n = 64;
+        let d = 3;
+        let mut r = rng(13);
+        let ahat = gen::bounded_degeneracy(n, d, &mut r);
+        let bhat = gen::average_sparse(n, d, &mut r);
+        let xhat = gen::average_sparse(n, d, &mut r);
+        let ts = TriangleSet::enumerate_supports(&ahat, &bhat, &xhat);
+        assert!(
+            ts.len() <= 2 * d * d * n,
+            "{} > 2d²n = {}",
+            ts.len(),
+            2 * d * d * n
+        );
+    }
+
+    #[test]
+    fn kappa_rounds_up() {
+        let inst = Instance::new(
+            Support::identity(4),
+            Support::identity(4),
+            Support::identity(4),
+        );
+        let ts = TriangleSet::enumerate(&inst);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.kappa(4), 1);
+        assert_eq!(ts.kappa(3), 2);
+        let empty = TriangleSet::default();
+        assert_eq!(empty.kappa(4), 1, "κ is at least 1");
+    }
+
+    #[test]
+    fn node_counts_are_consistent() {
+        let full = Support::full(3, 3);
+        let ts = TriangleSet::enumerate_supports(&full, &full, &full);
+        let counts = ts.node_counts(3);
+        for part in &counts {
+            assert_eq!(part.iter().map(|&c| c as usize).sum::<usize>(), ts.len());
+        }
+    }
+}

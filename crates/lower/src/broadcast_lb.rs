@@ -1,0 +1,109 @@
+//! The broadcast lower bound of Lemma 6.13 (§6.1.2), sandwiched against the
+//! upper bound we actually execute.
+//!
+//! An *affected* computer is one whose internal broadcast state has left
+//! `⊥`. In one round, an affected computer can affect at most two others —
+//! the destination it messages when its bit is `0` and the destination it
+//! messages when its bit is `1` (the latter learns by *silence*). Hence
+//! `B_t ≤ 3·B_{t−1}` and broadcasting to `n` computers needs
+//! `T ≥ log₃ n` rounds.
+//!
+//! The matching upper bound is the doubling broadcast of
+//! [`lowband_routing::broadcast()`]: `⌈log₂ n⌉` rounds. The gap (base 3 vs
+//! base 2) is exactly the power of signalling-by-silence that our executable
+//! schedules do not use.
+
+/// Lemma 6.13: any broadcast to `n` computers takes at least
+/// `⌈log₃ n⌉` rounds.
+pub fn broadcast_lower_bound(n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    // Smallest t with 3^t ≥ n.
+    let mut t = 0usize;
+    let mut reach = 1usize;
+    while reach < n {
+        reach = reach.saturating_mul(3);
+        t += 1;
+    }
+    t
+}
+
+/// The rounds our doubling broadcast actually takes: `⌈log₂ n⌉`.
+pub fn broadcast_upper_bound(n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// The affection recurrence itself, for plotting: `B_0 = 1`,
+/// `B_t = min(n, 3·B_{t−1})`; returns the sequence until all `n` computers
+/// are affected.
+pub fn affection_curve(n: usize) -> Vec<usize> {
+    let mut curve = vec![1usize];
+    while *curve.last().unwrap() < n {
+        let next = (curve.last().unwrap() * 3).min(n);
+        curve.push(next);
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_model::algebra::Nat;
+    use lowband_model::{Key, Machine, NodeId};
+    use lowband_routing::{broadcast, RangeTask};
+
+    #[test]
+    fn lower_bound_values() {
+        assert_eq!(broadcast_lower_bound(1), 0);
+        assert_eq!(broadcast_lower_bound(2), 1);
+        assert_eq!(broadcast_lower_bound(3), 1);
+        assert_eq!(broadcast_lower_bound(4), 2);
+        assert_eq!(broadcast_lower_bound(27), 3);
+        assert_eq!(broadcast_lower_bound(28), 4);
+    }
+
+    #[test]
+    fn sandwich_holds_for_executed_broadcasts() {
+        for n in [2usize, 5, 16, 81, 100, 729, 1000, 4096] {
+            let task = RangeTask {
+                start: NodeId(0),
+                len: n as u32,
+                key: Key::tmp(0, 0),
+            };
+            let schedule = broadcast(n, &[task]).unwrap();
+            let measured = schedule.rounds();
+            assert!(
+                broadcast_lower_bound(n) <= measured,
+                "n = {n}: LB {} > measured {measured}",
+                broadcast_lower_bound(n)
+            );
+            assert_eq!(measured, broadcast_upper_bound(n), "n = {n}");
+            // And the schedule really informs everyone.
+            let mut m: Machine<Nat> = Machine::new(n);
+            m.load(NodeId(0), Key::tmp(0, 0), Nat(7));
+            m.run(&schedule).unwrap();
+            for v in 0..n as u32 {
+                assert_eq!(m.get(NodeId(v), Key::tmp(0, 0)), Some(&Nat(7)));
+            }
+        }
+    }
+
+    #[test]
+    fn affection_curve_shape() {
+        let curve = affection_curve(100);
+        assert_eq!(curve, vec![1, 3, 9, 27, 81, 100]);
+        assert_eq!(curve.len() - 1, broadcast_lower_bound(100));
+    }
+
+    #[test]
+    fn gap_is_log3_over_log2() {
+        // The LB/UB ratio converges to log 2 / log 3 ≈ 0.63.
+        let n = 1 << 20;
+        let ratio = broadcast_lower_bound(n) as f64 / broadcast_upper_bound(n) as f64;
+        assert!((ratio - 0.6309).abs() < 0.05, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,186 @@
+//! The concrete hard instances from §6.
+//!
+//! Each gadget is an ordinary [`Instance`] that any of the upper-bound
+//! algorithms can run — what makes it a *gadget* is that the certifiers in
+//! [`crate::certifier`] / [`crate::broadcast_lb`] prove round lower bounds
+//! for it.
+
+use lowband_core::Instance;
+use lowband_matrix::{gen, Support};
+
+/// Lemma 6.1, first gadget (`BD × BD = US`): one dense row of `A` times one
+/// dense column of all-ones `B`, with only `X_11` of interest — matrix
+/// multiplication computes the sum `Σ_j a_j`, so it inherits the
+/// `Ω(log n)` bound of Corollary 6.10.
+pub fn sum_gadget(n: usize) -> Instance {
+    let ahat = gen::dense_row(n);
+    let bhat = gen::dense_column(n);
+    let xhat = Support::from_entries(n, n, vec![(0, 0)]);
+    Instance::balanced(ahat, bhat, xhat)
+}
+
+/// Lemma 6.1, second gadget (`BD × US = BD`): a dense all-ones column of
+/// `A` times the single entry `B_11 = b`, with the first column of `X` of
+/// interest — every computer must output `b`, i.e. the broadcast task of
+/// Lemma 6.13 (`Ω(log n)`).
+pub fn broadcast_gadget(n: usize) -> Instance {
+    let ahat = gen::dense_column(n);
+    let bhat = Support::from_entries(n, n, vec![(0, 0)]);
+    let xhat = gen::dense_column(n);
+    // The paper's broadcast argument needs each computer to *report* one
+    // entry of the output column: row placement does exactly that.
+    Instance::new(ahat, bhat, xhat)
+}
+
+/// Lemma 6.21 (`US × GM = GM`): the cyclic band matrix (entries `(i,i)` and
+/// `(i, i+1 mod n)`) times a general matrix, all of `X` of interest. Any
+/// output placement forces some computer to learn `Ω(√n)` foreign values.
+pub fn us_gm_gadget(n: usize) -> Instance {
+    Instance::balanced(
+        gen::cyclic_band(n),
+        Support::full(n, n),
+        Support::full(n, n),
+    )
+}
+
+/// Lemma 6.23 (`RS × CS = GM`): one dense column of `A` (row-sparse with
+/// `d = 1`) times one dense row of `B` (column-sparse with `d = 1`), all of
+/// `X` of interest — the rank-one outer product whose `n²` outputs pin the
+/// `2n` inputs, forcing `Ω(√n)` at some computer.
+pub fn rs_cs_gadget(n: usize) -> Instance {
+    Instance::balanced(gen::dense_column(n), gen::dense_row(n), Support::full(n, n))
+}
+
+/// Lemma 6.17 / Theorem 6.19 packing: an `m × m` dense instance embedded in
+/// the corner of an `n × n` matrix with `n = m²` — average-sparse with
+/// `d = 1`, yet locally as hard as dense multiplication.
+pub fn as_packing_gadget(m: usize) -> Instance {
+    let n = m * m;
+    let block = gen::average_sparse_block(n, 1);
+    Instance::balanced(block.clone(), block.clone(), block)
+}
+
+/// Re-place the outputs of an instance with dense `X̂` as `√n × √n` square
+/// blocks (computer `v` reports the block at `(v / √n, v mod √n)`).
+///
+/// This is the *algorithm-friendliest* placement for the §6.3 gadgets: it
+/// minimizes both the per-column concentration and the number of distinct
+/// columns any computer touches, so the certified bound of
+/// [`crate::certifier::max_foreign_values`] drops from `n` (row-aligned
+/// placements) to its pigeonhole floor `√n` — exhibiting exactly the
+/// `Ω(√n)` of Theorem 6.27.
+pub fn with_square_block_output(mut inst: Instance) -> Instance {
+    let n = inst.n;
+    let side = (n as f64).sqrt().round() as usize;
+    assert_eq!(side * side, n, "square-block placement needs square n");
+    let mut map = std::collections::HashMap::with_capacity(inst.xhat.nnz());
+    for (i, k) in inst.xhat.iter() {
+        let v = (i as usize / side) * side + (k as usize / side);
+        map.insert((i, k), lowband_model::NodeId(v as u32));
+    }
+    inst.placement.x = lowband_core::instance::OwnerMap::Explicit(map);
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_matrix::{SparsityClass, SparsityProfile};
+
+    #[test]
+    fn sum_gadget_classes() {
+        let g = sum_gadget(16);
+        let pa = SparsityProfile::of(&g.ahat);
+        let pb = SparsityProfile::of(&g.bhat);
+        let px = SparsityProfile::of(&g.xhat);
+        assert!(pa.bd_param <= 1, "dense row is BD(1)");
+        assert!(pb.bd_param <= 1, "dense column is BD(1)");
+        assert_eq!(px.us_param, 1);
+        assert_eq!(pa.tightest_class(1), SparsityClass::Cs);
+        assert_eq!(pb.tightest_class(1), SparsityClass::Rs);
+    }
+
+    #[test]
+    fn broadcast_gadget_classes() {
+        let g = broadcast_gadget(16);
+        assert!(SparsityProfile::of(&g.ahat).bd_param <= 1);
+        assert_eq!(SparsityProfile::of(&g.bhat).us_param, 1);
+        assert!(SparsityProfile::of(&g.xhat).bd_param <= 1);
+    }
+
+    #[test]
+    fn us_gm_gadget_classes() {
+        let g = us_gm_gadget(16);
+        assert_eq!(SparsityProfile::of(&g.ahat).us_param, 2, "band is US(2)");
+        assert_eq!(SparsityProfile::of(&g.bhat).us_param, 16);
+    }
+
+    #[test]
+    fn rs_cs_gadget_classes() {
+        let g = rs_cs_gadget(16);
+        assert_eq!(SparsityProfile::of(&g.ahat).rs_param, 1);
+        assert_eq!(SparsityProfile::of(&g.bhat).cs_param, 1);
+    }
+
+    #[test]
+    fn sum_gadget_solves_in_logarithmic_rounds() {
+        // The whole gadget is one X pair fed by n triangles: Lemma 3.1's
+        // convergecast computes the sum in O(log n) rounds — matching the
+        // Ω(log n) of Corollary 6.10 up to the base.
+        for n in [64usize, 256, 1024] {
+            let g = sum_gadget(n);
+            let (schedule, stats) =
+                lowband_core::algorithms::solve_bounded_triangles(&g, 0).unwrap();
+            assert_eq!(stats.triangles, n);
+            let log2 = (n as f64).log2().ceil() as usize;
+            assert!(
+                schedule.rounds() <= 6 * log2 + 12,
+                "n = {n}: {} rounds is not O(log n)",
+                schedule.rounds()
+            );
+            assert!(
+                schedule.rounds() >= crate::broadcast_lb::broadcast_lower_bound(n),
+                "cannot beat the affection bound"
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_gadget_solves_in_logarithmic_rounds() {
+        for n in [64usize, 256, 1024] {
+            let g = broadcast_gadget(n);
+            let (schedule, stats) =
+                lowband_core::algorithms::solve_bounded_triangles(&g, 0).unwrap();
+            assert_eq!(stats.triangles, n);
+            let log2 = (n as f64).log2().ceil() as usize;
+            assert!(
+                schedule.rounds() <= 6 * log2 + 12,
+                "n = {n}: {} rounds is not O(log n)",
+                schedule.rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn square_block_placement_hits_the_sqrt_floor() {
+        for n in [64usize, 144] {
+            let g = with_square_block_output(us_gm_gadget(n));
+            let cert = crate::certifier::max_foreign_values(&g);
+            let sqrt = (n as f64).sqrt() as usize;
+            assert!(cert >= sqrt, "floor: {cert} < {sqrt}");
+            assert!(
+                cert <= 2 * sqrt,
+                "square blocks should be near the floor: {cert} vs √n = {sqrt}"
+            );
+        }
+    }
+
+    #[test]
+    fn packing_gadget_is_as1() {
+        let g = as_packing_gadget(5);
+        assert_eq!(g.n, 25);
+        let p = SparsityProfile::of(&g.ahat);
+        assert_eq!(p.as_param, 1);
+        assert_eq!(p.bd_param, 5, "the m×m block is dense");
+    }
+}

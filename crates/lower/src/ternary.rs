@@ -1,0 +1,201 @@
+//! Signalling by silence: the abstract-model broadcast that makes
+//! Lemma 6.13 *tight*.
+//!
+//! The `B_t ≤ 3·B_{t−1}` affection argument counts three ways a computer can
+//! be affected in a round: it was already affected, it received a message,
+//! or it *noticed an expected message did not arrive*. Our executable
+//! [`lowband_model::Schedule`]s deliberately do not exploit the third
+//! channel — every bit they convey travels in a message — so the doubling
+//! broadcast costs `⌈log₂ n⌉` rounds. In the paper's *abstract* model
+//! (Definition 6.3), however, silence is informative, and a 1-bit broadcast
+//! can affect three new computers per affected computer per round:
+//!
+//! * an affected computer with bit `0` sends to its round-`t` partner `p₀`;
+//! * with bit `1` it sends to a *different* partner `p₁`;
+//! * both partners are affected either way — one by the message, the other
+//!   by the silence — and a third computer can be affected by an explicit
+//!   message carrying the bit... in fact with 1-bit payloads each affected
+//!   computer affects exactly the two partners, giving base 3 only when the
+//!   *payload* also carries a bit: `B_t = 3B_{t−1}` (one explicit message
+//!   recipient learning the bit plus the silent partner) requires the
+//!   protocol below, which matches `⌈log₃(2n/3 + 1/3)⌉ + O(1)` rounds.
+//!
+//! This module implements that protocol in a dedicated abstract-model
+//! executor ([`AbstractNetwork`]) that supports silence-observation, and
+//! verifies `rounds ≤ ⌈log₃ n⌉ + 1` — within one round of Lemma 6.13's
+//! bound, demonstrating tightness.
+
+/// State of one computer in the abstract broadcast.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BState {
+    /// Undecided (`⊥`).
+    Bot,
+    /// Knows the broadcast bit.
+    Knows(bool),
+}
+
+/// A tiny abstract-model network for 1-bit protocols: per round, every
+/// computer may address one destination per internal state, and
+/// destinations observe presence *and absence* of messages.
+pub struct AbstractNetwork {
+    states: Vec<BState>,
+    rounds: usize,
+    messages: usize,
+}
+
+impl AbstractNetwork {
+    /// A fresh network of `n` undecided computers; computer 0 knows `bit`.
+    pub fn new(n: usize, bit: bool) -> AbstractNetwork {
+        let mut states = vec![BState::Bot; n];
+        states[0] = BState::Knows(bit);
+        AbstractNetwork {
+            states,
+            rounds: 0,
+            messages: 0,
+        }
+    }
+
+    /// Rounds elapsed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Messages actually sent (silence is free).
+    pub fn messages(&self) -> usize {
+        self.messages
+    }
+
+    /// Number of computers that know the bit.
+    pub fn informed(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, BState::Knows(_)))
+            .count()
+    }
+
+    /// Execute one round of the ternary protocol.
+    ///
+    /// Deterministic addressing, known to everyone in advance (it is part of
+    /// the supported structure): the informed prefix has length `m`; informed
+    /// computer `c < m` addresses partner `p₀ = m + 2c` when its bit is `0`
+    /// and `p₁ = m + 2c + 1` when its bit is `1`. Each partner knows which
+    /// slot it is: receiving a message ⇒ the bit selecting it; observing
+    /// silence ⇒ the other bit. One send per computer, one (potential)
+    /// receive per computer — the low-bandwidth constraint, verbatim.
+    fn step(&mut self) {
+        let n = self.states.len();
+        // The informed set is always a prefix by construction.
+        let m = self.informed();
+        debug_assert!(self.states[..m]
+            .iter()
+            .all(|s| matches!(s, BState::Knows(_))));
+        let mut updates = Vec::new();
+        for c in 0..m {
+            let BState::Knows(bit) = self.states[c] else {
+                unreachable!()
+            };
+            let p0 = m + 2 * c;
+            let p1 = m + 2 * c + 1;
+            // The message goes to p_bit; the silent partner infers ¬… no:
+            // both partners learn the *actual* bit: p_bit from the message
+            // payload-free arrival, p_{1−bit} from silence.
+            if p0 < n {
+                updates.push((p0, bit));
+                if !bit {
+                    self.messages += 1; // message sent to p0 signals bit 0
+                }
+            }
+            if p1 < n {
+                updates.push((p1, bit));
+                if bit {
+                    self.messages += 1; // message sent to p1 signals bit 1
+                }
+            }
+        }
+        for (p, bit) in updates {
+            self.states[p] = BState::Knows(bit);
+        }
+        self.rounds += 1;
+    }
+
+    /// Run until everyone knows the bit; returns the round count.
+    pub fn broadcast_to_completion(&mut self) -> usize {
+        let n = self.states.len();
+        while self.informed() < n {
+            self.step();
+        }
+        self.rounds
+    }
+}
+
+/// Broadcast one bit to `n` computers in the abstract model; returns
+/// `(rounds, messages)`.
+pub fn ternary_broadcast(n: usize, bit: bool) -> (usize, usize) {
+    let mut net = AbstractNetwork::new(n, bit);
+    net.broadcast_to_completion();
+    (net.rounds(), net.messages())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast_lb::{broadcast_lower_bound, broadcast_upper_bound};
+
+    #[test]
+    fn everyone_learns_the_bit() {
+        for n in [1usize, 2, 3, 5, 9, 27, 28, 100] {
+            for bit in [false, true] {
+                let mut net = AbstractNetwork::new(n, bit);
+                net.broadcast_to_completion();
+                assert_eq!(net.informed(), n, "n = {n}");
+                assert!(net.states.iter().all(|s| *s == BState::Knows(bit)));
+            }
+        }
+    }
+
+    #[test]
+    fn informed_set_triples_each_round() {
+        let mut net = AbstractNetwork::new(100, true);
+        let mut prev = 1usize;
+        while net.informed() < 100 {
+            net.step();
+            let now = net.informed();
+            assert_eq!(now, (3 * prev).min(100), "B_t = 3·B_(t−1)");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn matches_the_affection_lower_bound() {
+        // Lemma 6.13 is tight in the abstract model: our protocol runs in
+        // exactly ⌈log₃ n⌉ rounds.
+        for n in [3usize, 9, 27, 81, 100, 729, 1000] {
+            let (rounds, _) = ternary_broadcast(n, true);
+            assert_eq!(
+                rounds,
+                broadcast_lower_bound(n),
+                "n = {n}: protocol is exactly tight"
+            );
+        }
+    }
+
+    #[test]
+    fn silence_buys_a_real_speedup_over_messages_only() {
+        // The message-only doubling broadcast needs ⌈log₂ n⌉; the silence
+        // protocol ⌈log₃ n⌉ — strictly fewer rounds from n = 9 on.
+        for n in [9usize, 81, 6561] {
+            let (ternary, messages) = ternary_broadcast(n, false);
+            assert!(ternary < broadcast_upper_bound(n), "n = {n}");
+            // Half the affections are by silence, so ~half the worst-case
+            // messages are saved too.
+            assert!(messages < n);
+        }
+    }
+
+    #[test]
+    fn bit_zero_and_one_cost_the_same_rounds() {
+        let (r0, _) = ternary_broadcast(200, false);
+        let (r1, _) = ternary_broadcast(200, true);
+        assert_eq!(r0, r1, "round count must not leak the bit");
+    }
+}

@@ -1,0 +1,411 @@
+//! Concrete semirings, rings and fields.
+//!
+//! The paper distinguishes two algebraic regimes (§1.1, Table 1):
+//!
+//! * **semirings** — only `+` and `·` are available, so only the `O(d^{4/3})`
+//!   cube algorithm applies to dense subproblems; examples here are the
+//!   Boolean semiring [`Bool`] (matrix product = reachability / triangle
+//!   detection) and the tropical semiring [`MinPlus`] (product = min-plus
+//!   distance product);
+//! * **rings/fields** — subtraction (and division) enable Strassen-style
+//!   fast dense multiplication; examples here are the Mersenne prime field
+//!   [`Fp`] (`p = 2⁶¹ − 1`) and the wrapping ring [`Wrap64`].
+
+use lowband_model::algebra::{Field, Ring, Semiring};
+use rand::Rng;
+
+/// Sampling random elements, for seeded instance generation.
+pub trait SampleElement: Semiring {
+    /// Draw a *nonzero* element (nonzero so that supports stay exact).
+    fn sample_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+// ---------------------------------------------------------------------------
+// Boolean semiring
+// ---------------------------------------------------------------------------
+
+/// The Boolean semiring `({0,1}, ∨, ∧)`.
+///
+/// Matrix multiplication over [`Bool`] computes exactly the "is there a
+/// `j` with `A_ij` and `B_jk`" predicate — the triangle-detection
+/// application of §1.5.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Bool(pub bool);
+
+impl Semiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+    fn one() -> Self {
+        Bool(true)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        Bool(self.0 | rhs.0)
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        Bool(self.0 & rhs.0)
+    }
+}
+
+impl SampleElement for Bool {
+    fn sample_nonzero<R: Rng + ?Sized>(_rng: &mut R) -> Self {
+        Bool(true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tropical (min, +) semiring
+// ---------------------------------------------------------------------------
+
+/// The tropical semiring `(ℕ ∪ {∞}, min, +)`.
+///
+/// The matrix "product" over [`MinPlus`] is the distance product; iterating
+/// it yields all-pairs shortest paths, the classic application of
+/// semiring matrix multiplication in the congested-clique literature.
+///
+/// `∞` (the additive identity) is represented by `u64::MAX`; tropical
+/// multiplication saturates so that `∞ + w = ∞`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MinPlus(pub u64);
+
+impl MinPlus {
+    /// The additive identity `∞`.
+    pub const INFINITY: MinPlus = MinPlus(u64::MAX);
+
+    /// Finite weight constructor.
+    pub fn weight(w: u64) -> MinPlus {
+        assert!(w < u64::MAX, "weight must be finite");
+        MinPlus(w)
+    }
+
+    /// Is this the tropical zero (`∞`)?
+    pub fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Semiring for MinPlus {
+    fn zero() -> Self {
+        MinPlus::INFINITY
+    }
+    fn one() -> Self {
+        MinPlus(0)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        MinPlus(self.0.min(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        MinPlus(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl SampleElement for MinPlus {
+    fn sample_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        MinPlus(rng.gen_range(0..1_000_000))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mersenne prime field 𝔽_p, p = 2^61 − 1
+// ---------------------------------------------------------------------------
+
+/// The prime field `𝔽_p` with `p = 2⁶¹ − 1`.
+///
+/// Field elements fit in one `O(log n)`-bit message for every instance size
+/// this simulator can represent, matching the paper's assumption that matrix
+/// elements fit in single messages. Reduction uses the Mersenne structure
+/// (`x mod 2⁶¹−1` via shift-and-add), so arithmetic is branch-light.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The modulus `p = 2⁶¹ − 1`.
+    pub const P: u64 = (1u64 << 61) - 1;
+
+    /// Construct from any integer (reduced mod `p`).
+    pub fn new(x: u64) -> Fp {
+        let mut v = (x >> 61) + (x & Fp::P);
+        if v >= Fp::P {
+            v -= Fp::P;
+        }
+        Fp(v)
+    }
+
+    /// Canonical representative in `0..p`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    fn mul_raw(a: u64, b: u64) -> u64 {
+        let wide = u128::from(a) * u128::from(b);
+        let lo = (wide & u128::from(Fp::P)) as u64;
+        let hi = (wide >> 61) as u64;
+        let mut v = lo + hi;
+        if v >= Fp::P {
+            v -= Fp::P;
+        }
+        // hi can itself exceed p − lo slack only once more.
+        if v >= Fp::P {
+            v -= Fp::P;
+        }
+        v
+    }
+
+    /// Modular exponentiation.
+    pub fn pow(self, mut e: u64) -> Fp {
+        let mut base = self;
+        let mut acc = Fp(1);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = Fp(Fp::mul_raw(acc.0, base.0));
+            }
+            base = Fp(Fp::mul_raw(base.0, base.0));
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+impl Semiring for Fp {
+    fn zero() -> Self {
+        Fp(0)
+    }
+    fn one() -> Self {
+        Fp(1)
+    }
+    fn try_neg(&self) -> Option<Self> {
+        Some(Ring::neg(self))
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        let mut v = self.0 + rhs.0;
+        if v >= Fp::P {
+            v -= Fp::P;
+        }
+        Fp(v)
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        Fp(Fp::mul_raw(self.0, rhs.0))
+    }
+}
+
+impl Ring for Fp {
+    fn neg(&self) -> Self {
+        if self.0 == 0 {
+            Fp(0)
+        } else {
+            Fp(Fp::P - self.0)
+        }
+    }
+}
+
+impl Field for Fp {
+    fn inv(&self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            // Fermat: a^(p−2) = a^{-1}.
+            Some(self.pow(Fp::P - 2))
+        }
+    }
+}
+
+impl SampleElement for Fp {
+    fn sample_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Fp(rng.gen_range(1..Fp::P))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GF(2)
+// ---------------------------------------------------------------------------
+
+/// The two-element field `GF(2)` (xor / and).
+///
+/// The smallest field: addition is xor (so every element is its own
+/// negative — subtraction *is* addition, and Strassen applies), and the
+/// only nonzero element is its own inverse. Boolean matrix rank and
+/// `𝔽₂` linear algebra live here; it also exercises the degenerate corner
+/// of the [`Ring`]/[`Field`] hierarchy in tests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Gf2(pub bool);
+
+impl Semiring for Gf2 {
+    fn zero() -> Self {
+        Gf2(false)
+    }
+    fn one() -> Self {
+        Gf2(true)
+    }
+    fn try_neg(&self) -> Option<Self> {
+        Some(Ring::neg(self))
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        Gf2(self.0 ^ rhs.0)
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        Gf2(self.0 & rhs.0)
+    }
+}
+
+impl Ring for Gf2 {
+    fn neg(&self) -> Self {
+        *self // characteristic 2: −x = x
+    }
+}
+
+impl Field for Gf2 {
+    fn inv(&self) -> Option<Self> {
+        if self.0 {
+            Some(Gf2(true))
+        } else {
+            None
+        }
+    }
+}
+
+impl SampleElement for Gf2 {
+    fn sample_nonzero<R: Rng + ?Sized>(_rng: &mut R) -> Self {
+        Gf2(true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wrapping u64 ring
+// ---------------------------------------------------------------------------
+
+/// The ring `ℤ / 2⁶⁴ℤ` (wrapping `u64` arithmetic).
+///
+/// Cheap, exact, supports subtraction (so Strassen applies), and any nonzero
+/// product structure survives with probability 1 − 2⁻⁶⁴-ish under random
+/// values — convenient for large stress tests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Wrap64(pub u64);
+
+impl Semiring for Wrap64 {
+    fn zero() -> Self {
+        Wrap64(0)
+    }
+    fn one() -> Self {
+        Wrap64(1)
+    }
+    fn try_neg(&self) -> Option<Self> {
+        Some(Ring::neg(self))
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        Wrap64(self.0.wrapping_add(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        Wrap64(self.0.wrapping_mul(rhs.0))
+    }
+}
+
+impl Ring for Wrap64 {
+    fn neg(&self) -> Self {
+        Wrap64(self.0.wrapping_neg())
+    }
+}
+
+impl SampleElement for Wrap64 {
+    fn sample_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Wrap64(rng.gen_range(1..=u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_is_triangle_logic() {
+        assert_eq!(Bool(true).add(&Bool(false)), Bool(true));
+        assert_eq!(Bool(true).mul(&Bool(false)), Bool(false));
+        assert_eq!(Bool::zero(), Bool(false));
+        assert_eq!(Bool::one(), Bool(true));
+        assert!(Bool::zero().is_zero());
+    }
+
+    #[test]
+    fn minplus_identities() {
+        let w = MinPlus::weight(5);
+        assert_eq!(w.add(&MinPlus::zero()), w, "min(5, ∞) = 5");
+        assert_eq!(w.mul(&MinPlus::one()), w, "5 + 0 = 5");
+        assert_eq!(w.mul(&MinPlus::zero()), MinPlus::zero(), "5 + ∞ = ∞");
+        assert!(MinPlus::INFINITY.is_infinite());
+        assert_eq!(MinPlus::weight(2).mul(&MinPlus::weight(3)), MinPlus(5));
+        assert_eq!(MinPlus::weight(2).add(&MinPlus::weight(3)), MinPlus(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn minplus_rejects_infinite_weight() {
+        let _ = MinPlus::weight(u64::MAX);
+    }
+
+    #[test]
+    fn fp_reduction_and_arithmetic() {
+        assert_eq!(Fp::new(Fp::P), Fp::zero());
+        assert_eq!(Fp::new(Fp::P + 5), Fp::new(5));
+        let a = Fp::new(123456789);
+        let b = Fp::new(987654321);
+        assert_eq!(a.add(&b), Fp::new(123456789 + 987654321));
+        assert_eq!(
+            a.mul(&b),
+            Fp::new(123456789u64.wrapping_mul(987654321) % Fp::P)
+        );
+        // Near-modulus products exercise double reduction.
+        let big = Fp::new(Fp::P - 1);
+        assert_eq!(big.mul(&big), Fp::new(1), "(p−1)² ≡ 1 (mod p)");
+    }
+
+    #[test]
+    fn fp_field_axioms() {
+        let a = Fp::new(0xDEADBEEFCAFE);
+        assert_eq!(a.add(&a.neg()), Fp::zero());
+        let inv = a.inv().unwrap();
+        assert_eq!(a.mul(&inv), Fp::one());
+        assert_eq!(Fp::zero().inv(), None);
+        assert_eq!(a.sub(&a), Fp::zero());
+    }
+
+    #[test]
+    fn fp_pow_matches_repeated_multiplication() {
+        let a = Fp::new(3);
+        let mut acc = Fp::one();
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc);
+            acc = acc.mul(&a);
+        }
+    }
+
+    #[test]
+    fn gf2_field_axioms() {
+        let (z, o) = (Gf2(false), Gf2(true));
+        assert_eq!(o.add(&o), z, "1 + 1 = 0 in characteristic 2");
+        assert_eq!(o.mul(&o), o);
+        assert_eq!(o.neg(), o, "self-inverse addition");
+        assert_eq!(o.sub(&o), z);
+        assert_eq!(o.inv(), Some(o));
+        assert_eq!(z.inv(), None);
+    }
+
+    #[test]
+    fn wrap64_ring_axioms() {
+        let a = Wrap64(u64::MAX - 3);
+        let b = Wrap64(17);
+        assert_eq!(a.add(&b), Wrap64((u64::MAX - 3).wrapping_add(17)));
+        assert_eq!(a.add(&a.neg()), Wrap64::zero());
+        assert_eq!(a.sub(&b).add(&b), a);
+    }
+
+    #[test]
+    fn samples_are_nonzero() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(!Fp::sample_nonzero(&mut rng).is_zero());
+            assert!(!Wrap64::sample_nonzero(&mut rng).is_zero());
+            assert!(!Bool::sample_nonzero(&mut rng).is_zero());
+            assert!(!MinPlus::sample_nonzero(&mut rng).is_zero());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The paper's sparsity families and membership checkers (§1.3).
+//!
+//! ```text
+//! US(d) ⊆ { RS(d), CS(d) } ⊆ BD(d) ⊆ AS(d) ⊆ GM
+//! ```
+//!
+//! * `US(d)` — uniformly sparse: ≤ `d` entries per row *and* per column;
+//! * `RS(d)` — row-sparse: ≤ `d` entries per row;
+//! * `CS(d)` — column-sparse: ≤ `d` entries per column;
+//! * `BD(d)` — bounded degeneracy: recursively eliminable deleting a
+//!   row/column with ≤ `d` remaining entries;
+//! * `AS(d)` — average-sparse: ≤ `d·n` entries in total;
+//! * `GM` — general matrices, no constraint.
+
+use crate::degeneracy::degeneracy;
+use crate::support::Support;
+
+/// One of the paper's six sparsity families.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum SparsityClass {
+    /// Uniformly sparse: `US(d)`.
+    Us,
+    /// Row-sparse: `RS(d)`.
+    Rs,
+    /// Column-sparse: `CS(d)`.
+    Cs,
+    /// Bounded degeneracy: `BD(d)`.
+    Bd,
+    /// Average-sparse: `AS(d)`.
+    As,
+    /// General matrices (no sparsity promise).
+    Gm,
+}
+
+impl SparsityClass {
+    /// Is this family contained in `other` (for the same `d`), per the
+    /// paper's inclusion chain? `GM` contains everything; `RS`/`CS` are
+    /// incomparable with each other.
+    pub fn is_subclass_of(self, other: SparsityClass) -> bool {
+        use SparsityClass::*;
+        match (self, other) {
+            (a, b) if a == b => true,
+            (Us, Rs) | (Us, Cs) | (Us, Bd) | (Us, As) | (Us, Gm) => true,
+            (Rs, Bd) | (Rs, As) | (Rs, Gm) => true,
+            (Cs, Bd) | (Cs, As) | (Cs, Gm) => true,
+            (Bd, As) | (Bd, Gm) => true,
+            (As, Gm) => true,
+            _ => false,
+        }
+    }
+
+    /// Does a support with the given [`SparsityProfile`] belong to this
+    /// family with parameter `d`?
+    pub fn admits(self, profile: &SparsityProfile, d: usize) -> bool {
+        match self {
+            SparsityClass::Us => profile.us_param <= d,
+            SparsityClass::Rs => profile.rs_param <= d,
+            SparsityClass::Cs => profile.cs_param <= d,
+            SparsityClass::Bd => profile.bd_param <= d,
+            SparsityClass::As => profile.as_param <= d,
+            SparsityClass::Gm => true,
+        }
+    }
+
+    /// Short name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            SparsityClass::Us => "US",
+            SparsityClass::Rs => "RS",
+            SparsityClass::Cs => "CS",
+            SparsityClass::Bd => "BD",
+            SparsityClass::As => "AS",
+            SparsityClass::Gm => "GM",
+        }
+    }
+}
+
+impl std::fmt::Display for SparsityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The minimal parameter `d` for which a given support belongs to each
+/// family — computed once, queried cheaply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SparsityProfile {
+    /// Smallest `d` with support ∈ `US(d)` = max(row degree, col degree).
+    pub us_param: usize,
+    /// Smallest `d` with support ∈ `RS(d)` = max row degree.
+    pub rs_param: usize,
+    /// Smallest `d` with support ∈ `CS(d)` = max col degree.
+    pub cs_param: usize,
+    /// Smallest `d` with support ∈ `BD(d)` = degeneracy.
+    pub bd_param: usize,
+    /// Smallest `d` with support ∈ `AS(d)` = ⌈nnz / n⌉ (where
+    /// `n = max(rows, cols)`).
+    pub as_param: usize,
+}
+
+impl SparsityProfile {
+    /// Compute the profile of a support.
+    pub fn of(support: &Support) -> SparsityProfile {
+        let rs = support.max_row_nnz();
+        let cs = support.max_col_nnz();
+        let (bd, _) = degeneracy(support);
+        let n = support.rows().max(support.cols()).max(1);
+        let as_param = support.nnz().div_ceil(n);
+        SparsityProfile {
+            us_param: rs.max(cs),
+            rs_param: rs,
+            cs_param: cs,
+            bd_param: bd,
+            as_param,
+        }
+    }
+
+    /// The most specific single family (other than `RS`/`CS`, which are
+    /// incomparable refinements) that admits this support with parameter
+    /// `d`, or `GM` if none does.
+    pub fn tightest_class(&self, d: usize) -> SparsityClass {
+        if self.us_param <= d {
+            SparsityClass::Us
+        } else if self.rs_param <= d {
+            SparsityClass::Rs
+        } else if self.cs_param <= d {
+            SparsityClass::Cs
+        } else if self.bd_param <= d {
+            SparsityClass::Bd
+        } else if self.as_param <= d {
+            SparsityClass::As
+        } else {
+            SparsityClass::Gm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusion_chain_matches_paper() {
+        use SparsityClass::*;
+        assert!(Us.is_subclass_of(Rs));
+        assert!(Us.is_subclass_of(Cs));
+        assert!(Rs.is_subclass_of(Bd));
+        assert!(Cs.is_subclass_of(Bd));
+        assert!(Bd.is_subclass_of(As));
+        assert!(As.is_subclass_of(Gm));
+        assert!(Us.is_subclass_of(Gm));
+        assert!(!Rs.is_subclass_of(Cs));
+        assert!(!Cs.is_subclass_of(Rs));
+        assert!(!As.is_subclass_of(Bd));
+        assert!(!Gm.is_subclass_of(As));
+        assert!(Bd.is_subclass_of(Bd));
+    }
+
+    #[test]
+    fn profile_of_diagonal() {
+        let p = SparsityProfile::of(&Support::identity(8));
+        assert_eq!(p.us_param, 1);
+        assert_eq!(p.rs_param, 1);
+        assert_eq!(p.cs_param, 1);
+        assert_eq!(p.bd_param, 1);
+        assert_eq!(p.as_param, 1);
+        assert_eq!(p.tightest_class(1), SparsityClass::Us);
+    }
+
+    #[test]
+    fn profile_of_dense_row() {
+        // One full row of an n×n matrix: RS(n) row-wise but CS(1); not US(1).
+        let n = 8usize;
+        let s = Support::from_entries(n, n, (0..n as u32).map(|j| (0, j)));
+        let p = SparsityProfile::of(&s);
+        assert_eq!(p.rs_param, n);
+        assert_eq!(p.cs_param, 1);
+        assert_eq!(p.us_param, n);
+        assert_eq!(p.bd_param, 1, "peel columns first");
+        assert_eq!(p.as_param, 1);
+        assert_eq!(p.tightest_class(1), SparsityClass::Cs);
+        assert_eq!(p.tightest_class(n), SparsityClass::Us);
+    }
+
+    #[test]
+    fn profile_of_cross_is_bd1_like() {
+        // Dense row + dense column (Lemma 6.1's gadget): BD(≤2), AS(2),
+        // neither RS(1) nor CS(1).
+        let n = 8u32;
+        let entries = (0..n).map(|j| (0, j)).chain((1..n).map(|i| (i, 0)));
+        let s = Support::from_entries(n as usize, n as usize, entries);
+        let p = SparsityProfile::of(&s);
+        assert!(p.bd_param <= 2);
+        assert_eq!(p.as_param, 2);
+        assert!(p.rs_param == n as usize);
+        assert!(p.cs_param == n as usize);
+        assert_eq!(p.tightest_class(2), SparsityClass::Bd);
+    }
+
+    #[test]
+    fn profile_of_dense_block_in_sparse_matrix() {
+        // √n × √n dense block in an n×n matrix: the AS gadget of
+        // Theorem 6.19. AS(1) but degeneracy √n.
+        let n = 64usize;
+        let m = 8u32;
+        let entries = (0..m).flat_map(|i| (0..m).map(move |j| (i, j)));
+        let s = Support::from_entries(n, n, entries);
+        let p = SparsityProfile::of(&s);
+        assert_eq!(p.as_param, 1);
+        assert_eq!(p.bd_param, 8);
+        assert_eq!(p.tightest_class(1), SparsityClass::As);
+        assert_eq!(p.tightest_class(8), SparsityClass::Us);
+    }
+
+    #[test]
+    fn admits_respects_parameters() {
+        let s = Support::full(4, 4);
+        let p = SparsityProfile::of(&s);
+        assert!(SparsityClass::Gm.admits(&p, 0));
+        assert!(!SparsityClass::Us.admits(&p, 3));
+        assert!(SparsityClass::Us.admits(&p, 4));
+        assert!(SparsityClass::As.admits(&p, 4));
+    }
+
+    #[test]
+    fn empty_support_is_in_everything() {
+        let p = SparsityProfile::of(&Support::empty(5, 5));
+        for c in [
+            SparsityClass::Us,
+            SparsityClass::Rs,
+            SparsityClass::Cs,
+            SparsityClass::Bd,
+            SparsityClass::As,
+        ] {
+            assert!(c.admits(&p, 0));
+        }
+    }
+}

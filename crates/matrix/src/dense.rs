@@ -1,0 +1,301 @@
+//! Dense matrices and local multiplication kernels.
+//!
+//! These run *inside* a simulated computer (local computation is free in the
+//! model) and double as test oracles. Two kernels:
+//!
+//! * [`DenseMatrix::multiply`] — the cubic semiring product, valid for any
+//!   [`Semiring`];
+//! * [`DenseMatrix::strassen`] — Strassen's `O(n^{2.807})` recursion, valid
+//!   for any [`Ring`] (it needs subtraction). This is the implementable
+//!   stand-in for the paper's fast field multiplication; see DESIGN.md §3
+//!   for the substitution note about the galactic `ω < 2.371552` tensor.
+
+use lowband_model::algebra::{Ring, Semiring};
+
+/// A dense row-major `rows × cols` matrix over a semiring.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DenseMatrix<S: Semiring> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Semiring> DenseMatrix<S> {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> DenseMatrix<S> {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![S::zero(); rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> DenseMatrix<S> {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, S::one());
+        }
+        m
+    }
+
+    /// Build by evaluating `f(i, j)` everywhere.
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> S,
+    ) -> DenseMatrix<S> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> &S {
+        &self.data[i * self.cols + j]
+    }
+
+    /// Write entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Entrywise sum.
+    pub fn add(&self, rhs: &DenseMatrix<S>) -> DenseMatrix<S> {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a.add(b))
+                .collect(),
+        }
+    }
+
+    /// Classic cubic product (ikj loop order for locality).
+    pub fn multiply(&self, rhs: &DenseMatrix<S>) -> DenseMatrix<S> {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out: DenseMatrix<S> = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j).add(&a.mul(rhs.get(k, j)));
+                    out.set(i, j, cur);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<S: Ring> DenseMatrix<S> {
+    /// Entrywise difference.
+    pub fn sub(&self, rhs: &DenseMatrix<S>) -> DenseMatrix<S> {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a.sub(b))
+                .collect(),
+        }
+    }
+
+    /// Strassen's fast product, for square matrices of any size (internally
+    /// padded to a power of two; recursion bottoms out on the cubic kernel
+    /// at `cutoff = 32`).
+    pub fn strassen(&self, rhs: &DenseMatrix<S>) -> DenseMatrix<S> {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        assert_eq!(self.rows, self.cols, "strassen expects square matrices");
+        assert_eq!(rhs.rows, rhs.cols, "strassen expects square matrices");
+        let n = self.rows;
+        let padded = n.next_power_of_two();
+        if padded != n {
+            let a = pad(self, padded);
+            let b = pad(rhs, padded);
+            let c = strassen_rec(&a, &b);
+            return crop(&c, n);
+        }
+        strassen_rec(self, rhs)
+    }
+}
+
+fn pad<S: Semiring>(m: &DenseMatrix<S>, size: usize) -> DenseMatrix<S> {
+    DenseMatrix::from_fn(size, size, |i, j| {
+        if i < m.rows() && j < m.cols() {
+            m.get(i, j).clone()
+        } else {
+            S::zero()
+        }
+    })
+}
+
+fn crop<S: Semiring>(m: &DenseMatrix<S>, size: usize) -> DenseMatrix<S> {
+    DenseMatrix::from_fn(size, size, |i, j| m.get(i, j).clone())
+}
+
+fn quad<S: Semiring>(m: &DenseMatrix<S>, qi: usize, qj: usize) -> DenseMatrix<S> {
+    let h = m.rows() / 2;
+    DenseMatrix::from_fn(h, h, |i, j| m.get(qi * h + i, qj * h + j).clone())
+}
+
+fn assemble<S: Semiring>(
+    c11: DenseMatrix<S>,
+    c12: DenseMatrix<S>,
+    c21: DenseMatrix<S>,
+    c22: DenseMatrix<S>,
+) -> DenseMatrix<S> {
+    let h = c11.rows();
+    DenseMatrix::from_fn(2 * h, 2 * h, |i, j| match (i < h, j < h) {
+        (true, true) => c11.get(i, j).clone(),
+        (true, false) => c12.get(i, j - h).clone(),
+        (false, true) => c21.get(i - h, j).clone(),
+        (false, false) => c22.get(i - h, j - h).clone(),
+    })
+}
+
+const STRASSEN_CUTOFF: usize = 32;
+
+fn strassen_rec<S: Ring>(a: &DenseMatrix<S>, b: &DenseMatrix<S>) -> DenseMatrix<S> {
+    let n = a.rows();
+    if n <= STRASSEN_CUTOFF {
+        return a.multiply(b);
+    }
+    let (a11, a12, a21, a22) = (quad(a, 0, 0), quad(a, 0, 1), quad(a, 1, 0), quad(a, 1, 1));
+    let (b11, b12, b21, b22) = (quad(b, 0, 0), quad(b, 0, 1), quad(b, 1, 0), quad(b, 1, 1));
+
+    let m1 = strassen_rec(&a11.add(&a22), &b11.add(&b22));
+    let m2 = strassen_rec(&a21.add(&a22), &b11);
+    let m3 = strassen_rec(&a11, &b12.sub(&b22));
+    let m4 = strassen_rec(&a22, &b21.sub(&b11));
+    let m5 = strassen_rec(&a11.add(&a12), &b22);
+    let m6 = strassen_rec(&a21.sub(&a11), &b11.add(&b12));
+    let m7 = strassen_rec(&a12.sub(&a22), &b21.add(&b22));
+
+    let c11 = m1.add(&m4).sub(&m5).add(&m7);
+    let c12 = m3.add(&m5);
+    let c21 = m2.add(&m4);
+    let c22 = m1.sub(&m2).add(&m3).add(&m6);
+    assemble(c11, c12, c21, c22)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{Bool, Fp, MinPlus, Wrap64};
+    use lowband_model::algebra::Nat;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identity_is_neutral() {
+        let a: DenseMatrix<Nat> = DenseMatrix::from_fn(3, 3, |i, j| Nat((i * 3 + j) as u64));
+        let id = DenseMatrix::identity(3);
+        assert_eq!(a.multiply(&id), a);
+        assert_eq!(id.multiply(&a), a);
+    }
+
+    #[test]
+    fn cubic_known_product() {
+        let a: DenseMatrix<Nat> = DenseMatrix::from_fn(2, 3, |i, j| Nat((i + j) as u64));
+        let b: DenseMatrix<Nat> = DenseMatrix::from_fn(3, 2, |i, j| Nat((i * j + 1) as u64));
+        let c = a.multiply(&b);
+        // Row 0 of a = [0,1,2]; col 0 of b = [1,1,1] ⇒ 3.
+        assert_eq!(*c.get(0, 0), Nat(3));
+        // Row 1 of a = [1,2,3]; col 1 of b = [1,2,3] ⇒ 1+4+9 = 14.
+        assert_eq!(*c.get(1, 1), Nat(14));
+    }
+
+    #[test]
+    fn boolean_multiply_is_reachability() {
+        let a: DenseMatrix<Bool> = DenseMatrix::from_fn(3, 3, |i, j| Bool(j == i + 1));
+        let sq = a.multiply(&a);
+        assert_eq!(*sq.get(0, 2), Bool(true), "two-step path 0→1→2");
+        assert_eq!(*sq.get(0, 1), Bool(false));
+    }
+
+    #[test]
+    fn tropical_multiply_is_min_plus() {
+        let inf = MinPlus::INFINITY;
+        let w = MinPlus::weight;
+        let a = DenseMatrix::from_fn(2, 2, |i, j| match (i, j) {
+            (0, 0) => w(0),
+            (0, 1) => w(4),
+            (1, 0) => inf,
+            _ => w(0),
+        });
+        let c = a.multiply(&a);
+        assert_eq!(*c.get(0, 1), w(4), "min(0+4, 4+0) = 4");
+        assert_eq!(*c.get(1, 0), inf);
+    }
+
+    #[test]
+    fn strassen_matches_cubic_fp() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 5, 17, 33, 64, 70] {
+            let a = DenseMatrix::from_fn(n, n, |_, _| Fp::new(rng.gen::<u64>()));
+            let b = DenseMatrix::from_fn(n, n, |_, _| Fp::new(rng.gen::<u64>()));
+            assert_eq!(a.strassen(&b), a.multiply(&b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn strassen_matches_cubic_wrap64() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 48;
+        let a = DenseMatrix::from_fn(n, n, |_, _| Wrap64(rng.gen()));
+        let b = DenseMatrix::from_fn(n, n, |_, _| Wrap64(rng.gen()));
+        assert_eq!(a.strassen(&b), a.multiply(&b));
+    }
+
+    #[test]
+    fn strassen_matches_cubic_gf2() {
+        use crate::algebra::Gf2;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let n = 40;
+        let a = DenseMatrix::from_fn(n, n, |_, _| Gf2(rng.gen_bool(0.5)));
+        let b = DenseMatrix::from_fn(n, n, |_, _| Gf2(rng.gen_bool(0.5)));
+        assert_eq!(a.strassen(&b), a.multiply(&b), "characteristic 2 is fine");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn strassen_rejects_rectangular() {
+        let a: DenseMatrix<Fp> = DenseMatrix::zeros(2, 3);
+        let b: DenseMatrix<Fp> = DenseMatrix::zeros(3, 2);
+        let _ = a.strassen(&b);
+    }
+
+    #[test]
+    fn add_sub_are_entrywise() {
+        let a: DenseMatrix<Fp> = DenseMatrix::from_fn(2, 2, |i, j| Fp::new((i + j) as u64));
+        let b: DenseMatrix<Fp> = DenseMatrix::from_fn(2, 2, |_, _| Fp::new(1));
+        assert_eq!(*a.add(&b).get(1, 1), Fp::new(3));
+        assert_eq!(*a.sub(&b).get(0, 0), Fp::new(0).sub(&Fp::new(1)));
+    }
+}

@@ -1,0 +1,322 @@
+//! Seeded random generators for every sparsity family.
+//!
+//! Each generator returns a [`Support`]; attach values with
+//! [`crate::SparseMatrix::randomize`]. All generators are deterministic in
+//! the provided RNG, so every experiment in the bench harness is
+//! reproducible from its seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::support::Support;
+
+/// Uniformly sparse `US(d)` support: the union of `d` uniformly random
+/// permutation matrices. Every row and column has at most `d` entries
+/// (fewer where permutations collide).
+pub fn uniform_sparse<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Support {
+    let mut entries = Vec::with_capacity(n * d);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..d {
+        perm.shuffle(rng);
+        entries.extend((0..n as u32).map(|i| (i, perm[i as usize])));
+    }
+    Support::from_entries(n, n, entries)
+}
+
+/// Row-sparse `RS(d)` support: every row holds exactly `min(d, n)` distinct
+/// random columns; column degrees are unconstrained (binomially
+/// concentrated).
+pub fn row_sparse<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Support {
+    let d = d.min(n);
+    let mut entries = Vec::with_capacity(n * d);
+    let mut cols: Vec<u32> = (0..n as u32).collect();
+    for i in 0..n as u32 {
+        let (chosen, _) = cols.partial_shuffle(rng, d);
+        entries.extend(chosen.iter().map(|&j| (i, j)));
+    }
+    Support::from_entries(n, n, entries)
+}
+
+/// Row-sparse support with a *planted dense column*: like [`row_sparse`]
+/// but every row's first entry is column 0, so the support is `RS(d)` yet
+/// `CS(n)` — exercising the asymmetry between the two classes.
+pub fn row_sparse_skewed<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Support {
+    let d = d.min(n).max(1);
+    let mut entries = Vec::with_capacity(n * d);
+    let mut cols: Vec<u32> = (1..n as u32).collect();
+    for i in 0..n as u32 {
+        entries.push((i, 0));
+        let (chosen, _) = cols.partial_shuffle(rng, d - 1);
+        entries.extend(chosen.iter().map(|&j| (i, j)));
+    }
+    Support::from_entries(n, n, entries)
+}
+
+/// Column-sparse `CS(d)` support (transpose of [`row_sparse`]).
+pub fn col_sparse<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Support {
+    row_sparse(n, d, rng).transpose()
+}
+
+/// Bounded-degeneracy `BD(d)` support with hubs.
+///
+/// Construction: fix a uniformly random elimination order over all `2n`
+/// row/column nodes; each node receives up to `d` entries connecting it to
+/// nodes *later* in the order (targets biased towards the very last nodes,
+/// which therefore accumulate large degree — the "hubs"). Peeling in order
+/// always finds the current node with ≤ `d` remaining entries, so the
+/// degeneracy is ≤ `d`, while max row/column degree grows like `Ω(d·n /
+/// hubs)` — i.e. the support is in `BD(d)` but far outside `US(d)`.
+pub fn bounded_degeneracy<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Support {
+    // Node encoding: 0..n are rows, n..2n are columns.
+    let mut order: Vec<usize> = (0..2 * n).collect();
+    order.shuffle(rng);
+    let mut pos = vec![0usize; 2 * n];
+    for (p, &node) in order.iter().enumerate() {
+        pos[node] = p;
+    }
+    let mut entries = Vec::with_capacity(n * d);
+    for (p, &node) in order.iter().enumerate() {
+        if p + 1 >= 2 * n {
+            break;
+        }
+        for _ in 0..d {
+            // Bias: with probability 1/2 target one of the last √n slots
+            // (hub formation), otherwise uniform among later slots. Only
+            // *later* opposite-side nodes are valid — an edge to an earlier
+            // node would inflate that node's remaining degree at its own
+            // elimination time and break the planted bound.
+            let lo = p + 1;
+            let hi = 2 * n;
+            let tail = ((hi - lo) as f64).sqrt().ceil() as usize;
+            let mut target = None;
+            for _ in 0..32 {
+                let target_pos = if rng.gen_bool(0.5) && tail > 0 {
+                    hi - 1 - rng.gen_range(0..tail)
+                } else {
+                    rng.gen_range(lo..hi)
+                };
+                let cand = order[target_pos];
+                if (node < n) != (cand < n) {
+                    target = Some(cand);
+                    break;
+                }
+            }
+            // If every later node happens to be on the same side (or we got
+            // unlucky 32 times), skip this entry; the degeneracy bound only
+            // gets easier.
+            let Some(target) = target else { continue };
+            let (row, col) = if node < n {
+                (node, target - n)
+            } else {
+                (target, node - n)
+            };
+            entries.push((row as u32, col as u32));
+        }
+    }
+    Support::from_entries(n, n, entries)
+}
+
+/// Average-sparse `AS(d)` support: `d·n` entries placed uniformly at random
+/// (deduplicated, so the realized count can be slightly lower).
+pub fn average_sparse<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Support {
+    let m = d * n;
+    let entries = (0..m).map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32));
+    Support::from_entries(n, n, entries)
+}
+
+/// Average-sparse support concentrated in a dense `⌈√(dn)⌉`-sized corner
+/// block — the packing gadget of Theorem 6.19: still `AS(d)` overall, but
+/// locally as dense as a general matrix.
+pub fn average_sparse_block(n: usize, d: usize) -> Support {
+    let b = (((d * n) as f64).sqrt().floor() as usize).min(n);
+    Support::from_entries(
+        n,
+        n,
+        (0..b as u32).flat_map(move |i| (0..b as u32).map(move |j| (i, j))),
+    )
+}
+
+/// Block-diagonal support with dense `d × d` blocks: `US(d)`, and every
+/// triangle of a `[US:US:US]` instance built from three copies lies inside
+/// a cluster — the phase-1-heavy workload for Theorem 4.2.
+pub fn block_diagonal(n: usize, d: usize) -> Support {
+    let d = d.max(1).min(n);
+    let blocks = n / d;
+    let mut entries = Vec::with_capacity(blocks * d * d);
+    for b in 0..blocks as u32 {
+        let base = b * d as u32;
+        for i in 0..d as u32 {
+            for j in 0..d as u32 {
+                entries.push((base + i, base + j));
+            }
+        }
+    }
+    Support::from_entries(n, n, entries)
+}
+
+/// The cyclic band support of Lemma 6.21: entries `(i, i)` and
+/// `(i, (i mod n) + 1)` for all `i` — a `US(2)` matrix whose product with a
+/// general matrix forces `Ω(√n)` routing.
+pub fn cyclic_band(n: usize) -> Support {
+    Support::from_entries(
+        n,
+        n,
+        (0..n as u32).flat_map(|i| [(i, i), (i, (i + 1) % n as u32)]),
+    )
+}
+
+/// The "cross" pair of Lemma 6.23 / Lemma 6.1: `A` has one dense column
+/// (`CS(1)`-style: all entries in column 0), `B` has one dense row.
+pub fn dense_column(n: usize) -> Support {
+    Support::from_entries(n, n, (0..n as u32).map(|i| (i, 0)))
+}
+
+/// One dense row (row 0); see [`dense_column`].
+pub fn dense_row(n: usize) -> Support {
+    Support::from_entries(n, n, (0..n as u32).map(|j| (0, j)))
+}
+
+/// The fan-out triple `(Â, B̂, X̂)` in which the single entry `B_00` feeds
+/// all `n` triangles `(i, 0, 0)` — the maximum pair-multiplicity instance
+/// that separates Lemma 3.1's broadcast trees (`O(log n)`) from direct
+/// fetching (`Θ(n)`).
+pub fn fan_out_triple(n: usize) -> (Support, Support, Support) {
+    (
+        Support::from_entries(n, n, (0..n as u32).map(|i| (i, 0))),
+        Support::from_entries(n, n, vec![(0, 0)]),
+        Support::from_entries(n, n, (0..n as u32).map(|i| (i, 0))),
+    )
+}
+
+/// The heavy-middle-node triple: column 0 of `Â` and row 0 of `B̂` are
+/// dense, `X̂` is everything — all `n²` triangles run through node `j = 0`,
+/// the maximally unbalanced instance that Lemma 3.1's virtualization
+/// (§3.2) exists for.
+pub fn heavy_middle_triple(n: usize) -> (Support, Support, Support) {
+    (dense_column(n), dense_row(n), Support::full(n, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::SparsityProfile;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_sparse_is_us() {
+        let s = uniform_sparse(64, 5, &mut rng(1));
+        let p = SparsityProfile::of(&s);
+        assert!(p.us_param <= 5);
+        assert!(s.nnz() > 64 * 3, "collisions should be rare");
+    }
+
+    #[test]
+    fn row_sparse_is_rs_exactly() {
+        let s = row_sparse(50, 4, &mut rng(2));
+        let p = SparsityProfile::of(&s);
+        assert_eq!(p.rs_param, 4);
+        assert_eq!(s.nnz(), 200, "exactly d distinct entries per row");
+    }
+
+    #[test]
+    fn skewed_row_sparse_has_dense_column() {
+        let s = row_sparse_skewed(50, 4, &mut rng(3));
+        let p = SparsityProfile::of(&s);
+        assert!(p.rs_param <= 4);
+        assert_eq!(p.cs_param, 50, "column 0 is dense");
+        assert!(p.bd_param <= 4, "still low degeneracy");
+    }
+
+    #[test]
+    fn col_sparse_is_cs() {
+        let s = col_sparse(50, 4, &mut rng(4));
+        let p = SparsityProfile::of(&s);
+        assert_eq!(p.cs_param, 4);
+    }
+
+    #[test]
+    fn bounded_degeneracy_is_bd_but_not_us() {
+        let s = bounded_degeneracy(128, 3, &mut rng(5));
+        let p = SparsityProfile::of(&s);
+        assert!(
+            p.bd_param <= 3,
+            "planted degeneracy bound, got {}",
+            p.bd_param
+        );
+        assert!(
+            p.us_param > 6,
+            "hubs should push max degree well beyond d, got {}",
+            p.us_param
+        );
+    }
+
+    #[test]
+    fn average_sparse_entry_budget() {
+        let s = average_sparse(100, 3, &mut rng(6));
+        assert!(s.nnz() <= 300);
+        assert!(s.nnz() >= 280, "dedup losses should be small");
+        let p = SparsityProfile::of(&s);
+        assert!(p.as_param <= 3);
+    }
+
+    #[test]
+    fn average_sparse_block_is_as_but_dense_inside() {
+        let s = average_sparse_block(100, 1);
+        let p = SparsityProfile::of(&s);
+        assert!(p.as_param <= 1);
+        assert_eq!(p.bd_param, 10, "10×10 dense block has degeneracy 10");
+    }
+
+    #[test]
+    fn block_diagonal_is_us_d() {
+        let s = block_diagonal(32, 4);
+        let p = SparsityProfile::of(&s);
+        assert_eq!(p.us_param, 4);
+        assert_eq!(s.nnz(), 32 * 4);
+    }
+
+    #[test]
+    fn cyclic_band_is_us2() {
+        let s = cyclic_band(16);
+        let p = SparsityProfile::of(&s);
+        assert_eq!(p.us_param, 2);
+        assert_eq!(s.nnz(), 32);
+        assert!(s.contains(15, 0), "wraps around");
+    }
+
+    #[test]
+    fn cross_supports() {
+        let c = dense_column(8);
+        let r = dense_row(8);
+        assert_eq!(SparsityProfile::of(&c).cs_param, 8);
+        assert_eq!(SparsityProfile::of(&c).rs_param, 1);
+        assert_eq!(SparsityProfile::of(&r).rs_param, 8);
+        assert_eq!(SparsityProfile::of(&r).cs_param, 1);
+    }
+
+    #[test]
+    fn worst_case_triples_have_expected_shapes() {
+        let (a, b, x) = fan_out_triple(16);
+        assert_eq!(a.nnz(), 16);
+        assert_eq!(b.nnz(), 1);
+        assert_eq!(x.nnz(), 16);
+        let (a, b, x) = heavy_middle_triple(8);
+        assert_eq!(a.col_nnz(0), 8);
+        assert_eq!(b.row_nnz(0), 8);
+        assert_eq!(x.nnz(), 64);
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = uniform_sparse(40, 3, &mut rng(9));
+        let b = uniform_sparse(40, 3, &mut rng(9));
+        assert_eq!(a, b);
+        let c = average_sparse(40, 3, &mut rng(10));
+        let d = average_sparse(40, 3, &mut rng(10));
+        assert_eq!(c, d);
+    }
+}

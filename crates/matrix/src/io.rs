@@ -1,0 +1,240 @@
+//! Reading and writing sparsity patterns in Matrix Market coordinate
+//! format.
+//!
+//! The supported model's whole premise is that the sparsity structure is a
+//! first-class, shareable artifact — so the library can persist and load
+//! it. We speak the `%%MatrixMarket matrix coordinate pattern general`
+//! dialect (1-based indices, `%` comments), which makes every pattern from
+//! the SuiteSparse collection a valid input for the generators-independent
+//! experiments.
+
+use std::io::{BufRead, Write};
+
+use crate::support::Support;
+
+/// Errors raised while parsing a pattern file.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> IoError {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Write a support as `matrix coordinate pattern general`.
+pub fn write_support<W: Write>(support: &Support, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(w, "% written by lowband-matrix")?;
+    writeln!(w, "{} {} {}", support.rows(), support.cols(), support.nnz())?;
+    for (i, j) in support.iter() {
+        writeln!(w, "{} {}", i + 1, j + 1)?;
+    }
+    Ok(())
+}
+
+/// Read a support from `matrix coordinate` input. Both `pattern` files and
+/// value-carrying files (`real`/`integer`, values ignored) are accepted;
+/// `symmetric` patterns are expanded to both triangles.
+pub fn read_support<R: BufRead>(r: R) -> Result<Support, IoError> {
+    let mut lines = r.lines().enumerate();
+
+    // Header.
+    let (hline, header) = loop {
+        match lines.next() {
+            Some((idx, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (idx + 1, line);
+                }
+            }
+            None => return Err(parse_err(0, "empty file")),
+        }
+    };
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket") {
+        return Err(parse_err(hline, "missing %%MatrixMarket header"));
+    }
+    if !header_lc.contains("coordinate") {
+        return Err(parse_err(hline, "only coordinate format is supported"));
+    }
+    let symmetric = header_lc.contains("symmetric");
+    if header_lc.contains("hermitian") || header_lc.contains("skew") {
+        return Err(parse_err(hline, "hermitian/skew symmetry is not supported"));
+    }
+
+    // Size line (first non-comment line).
+    let (sline, size_line) = loop {
+        match lines.next() {
+            Some((idx, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (idx + 1, line);
+                }
+            }
+            None => return Err(parse_err(0, "missing size line")),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|tok| tok.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| parse_err(sline, format!("bad size line: {e}")))?;
+    if dims.len() != 3 {
+        return Err(parse_err(sline, "size line must be `rows cols nnz`"));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut entries = Vec::with_capacity(nnz * if symmetric { 2 } else { 1 });
+    let mut seen = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut toks = t.split_whitespace();
+        let i: usize = toks
+            .next()
+            .ok_or_else(|| parse_err(idx + 1, "missing row index"))?
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad row index: {e}")))?;
+        let j: usize = toks
+            .next()
+            .ok_or_else(|| parse_err(idx + 1, "missing column index"))?
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad column index: {e}")))?;
+        // Any further tokens are values; ignored.
+        if i == 0 || j == 0 || i > rows || j > cols {
+            return Err(parse_err(
+                idx + 1,
+                format!("entry ({i},{j}) out of bounds for {rows}×{cols}"),
+            ));
+        }
+        entries.push(((i - 1) as u32, (j - 1) as u32));
+        if symmetric && i != j {
+            entries.push(((j - 1) as u32, (i - 1) as u32));
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(
+            0,
+            format!("size line promised {nnz} entries, file had {seen}"),
+        ));
+    }
+    Ok(Support::from_entries(rows, cols, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = Support::from_entries(4, 5, vec![(0, 1), (2, 4), (3, 0), (3, 3)]);
+        let mut buf = Vec::new();
+        write_support(&s, &mut buf).unwrap();
+        let back = read_support(buf.as_slice()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn reads_pattern_with_comments_and_blanks() {
+        let input = "\
+%%MatrixMarket matrix coordinate pattern general
+% a comment
+
+3 3 2
+1 1
+% another comment
+3 2
+";
+        let s = read_support(input.as_bytes()).unwrap();
+        assert_eq!(s.nnz(), 2);
+        assert!(s.contains(0, 0));
+        assert!(s.contains(2, 1));
+    }
+
+    #[test]
+    fn reads_real_values_ignoring_them() {
+        let input = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 3.5\n2 1 -1.0\n";
+        let s = read_support(input.as_bytes()).unwrap();
+        assert!(s.contains(0, 1));
+        assert!(s.contains(1, 0));
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let input = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n";
+        let s = read_support(input.as_bytes()).unwrap();
+        assert!(s.contains(1, 0));
+        assert!(s.contains(0, 1), "mirror entry");
+        assert!(s.contains(2, 2));
+        assert_eq!(s.nnz(), 3, "diagonal not doubled");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_support("not a matrix\n1 1 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let err =
+            read_support("%%MatrixMarket matrix array real general\n2 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("coordinate"));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let input = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        let err = read_support(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let input = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n";
+        let err = read_support(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("promised"));
+    }
+
+    #[test]
+    fn empty_support_roundtrips() {
+        let s = Support::empty(3, 3);
+        let mut buf = Vec::new();
+        write_support(&s, &mut buf).unwrap();
+        assert_eq!(read_support(buf.as_slice()).unwrap(), s);
+    }
+}

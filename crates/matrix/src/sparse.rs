@@ -1,0 +1,261 @@
+//! Sparse matrices: values attached to a support, and the sequential
+//! reference product.
+
+use lowband_model::Semiring;
+use rand::Rng;
+
+use crate::algebra::SampleElement;
+use crate::support::Support;
+
+/// A sparse matrix: a [`Support`] plus one value per support entry.
+///
+/// Values are stored row-major, aligned with [`Support::iter`]; entries in
+/// the support may still hold the semiring zero (the support is an
+/// *indicator*: `Â_ij = 0` implies `A_ij = 0`, not the converse — §2.1).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SparseMatrix<S: Semiring> {
+    support: Support,
+    /// Row-major values; `values[row_start[i] + row_offset]`.
+    values: Vec<S>,
+    /// Prefix sums of row lengths for O(1) row slicing.
+    row_start: Vec<usize>,
+}
+
+impl<S: Semiring> SparseMatrix<S> {
+    /// A matrix of zeros on the given support.
+    pub fn zeros(support: Support) -> SparseMatrix<S> {
+        let mut row_start = Vec::with_capacity(support.rows() + 1);
+        let mut acc = 0usize;
+        row_start.push(0);
+        for i in 0..support.rows() as u32 {
+            acc += support.row_nnz(i);
+            row_start.push(acc);
+        }
+        SparseMatrix {
+            values: vec![S::zero(); acc],
+            support,
+            row_start,
+        }
+    }
+
+    /// Build by evaluating `f(i, j)` on every support entry.
+    pub fn from_fn(support: Support, mut f: impl FnMut(u32, u32) -> S) -> SparseMatrix<S> {
+        let mut m = SparseMatrix::zeros(support);
+        let entries: Vec<(u32, u32)> = m.support.iter().collect();
+        for (idx, (i, j)) in entries.into_iter().enumerate() {
+            m.values[idx] = f(i, j);
+        }
+        m
+    }
+
+    /// The support.
+    pub fn support(&self) -> &Support {
+        &self.support
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.support.rows()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.support.cols()
+    }
+
+    /// Read entry `(i, j)`: the stored value if in support, zero otherwise.
+    pub fn get(&self, i: u32, j: u32) -> S {
+        match self.support.row_offset(i, j) {
+            Some(o) => self.values[self.row_start[i as usize] + o].clone(),
+            None => S::zero(),
+        }
+    }
+
+    /// Write entry `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `(i, j)` is not in the support — the supported model never
+    /// materializes values outside the known structure.
+    pub fn set(&mut self, i: u32, j: u32, v: S) {
+        let o = self
+            .support
+            .row_offset(i, j)
+            .unwrap_or_else(|| panic!("entry ({i},{j}) outside the support"));
+        self.values[self.row_start[i as usize] + o] = v;
+    }
+
+    /// Iterate `(i, j, value)` over support entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &S)> + '_ {
+        self.support
+            .iter()
+            .zip(self.values.iter())
+            .map(|((i, j), v)| (i, j, v))
+    }
+
+    /// The values of row `i`, aligned with `support.row(i)`.
+    pub fn row_values(&self, i: u32) -> &[S] {
+        &self.values[self.row_start[i as usize]..self.row_start[i as usize + 1]]
+    }
+
+    /// Fill with random nonzero values (used by generators and benches).
+    pub fn randomize<R: Rng + ?Sized>(support: Support, rng: &mut R) -> SparseMatrix<S>
+    where
+        S: SampleElement,
+    {
+        SparseMatrix::from_fn(support, |_, _| S::sample_nonzero(rng))
+    }
+
+    /// Dense `rows × cols` image (test oracle helper).
+    pub fn to_dense(&self) -> Vec<Vec<S>> {
+        let mut d = vec![vec![S::zero(); self.cols()]; self.rows()];
+        for (i, j, v) in self.iter() {
+            d[i as usize][j as usize] = v.clone();
+        }
+        d
+    }
+}
+
+/// The sequential reference product: `X = (A · B) ⊙ X̂`, i.e. all entries of
+/// the true product restricted to the entries of interest `X̂`.
+///
+/// This is the oracle every distributed algorithm in `lowband-core` is
+/// validated against. Runs in `O(Σ_j (nnz of column j of A) · (nnz of row j
+/// of B))` time — the natural sparse triple-loop, masked at the end.
+pub fn reference_multiply<S: Semiring>(
+    a: &SparseMatrix<S>,
+    b: &SparseMatrix<S>,
+    xhat: &Support,
+) -> SparseMatrix<S> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(xhat.rows(), a.rows(), "X̂ rows must match A rows");
+    assert_eq!(xhat.cols(), b.cols(), "X̂ cols must match B cols");
+    let mut x: SparseMatrix<S> = SparseMatrix::zeros(xhat.clone());
+    // For every i: accumulate row i of A times B, touching only X̂'s row.
+    for i in 0..a.rows() as u32 {
+        if xhat.row_nnz(i) == 0 {
+            continue;
+        }
+        for (&j, av) in a.support().row(i).iter().zip(a.row_values(i)) {
+            for (&k, bv) in b.support().row(j).iter().zip(b.row_values(j)) {
+                if let Some(o) = xhat.row_offset(i, k) {
+                    let idx = x.row_start[i as usize] + o;
+                    x.values[idx] = x.values[idx].add(&av.mul(bv));
+                }
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{Bool, Fp, MinPlus};
+    use lowband_model::algebra::Nat;
+
+    #[test]
+    fn zeros_get_set_roundtrip() {
+        let s = Support::from_entries(3, 3, vec![(0, 1), (1, 2), (2, 0)]);
+        let mut m: SparseMatrix<Nat> = SparseMatrix::zeros(s);
+        assert_eq!(m.get(0, 1), Nat(0));
+        m.set(0, 1, Nat(5));
+        assert_eq!(m.get(0, 1), Nat(5));
+        assert_eq!(m.get(0, 0), Nat(0), "off-support reads are zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the support")]
+    fn set_outside_support_panics() {
+        let s = Support::identity(2);
+        let mut m: SparseMatrix<Nat> = SparseMatrix::zeros(s);
+        m.set(0, 1, Nat(1));
+    }
+
+    #[test]
+    fn from_fn_evaluates_per_entry() {
+        let s = Support::full(2, 2);
+        let m: SparseMatrix<Nat> = SparseMatrix::from_fn(s, |i, j| Nat(u64::from(i * 10 + j)));
+        assert_eq!(m.get(1, 1), Nat(11));
+        assert_eq!(m.get(0, 1), Nat(1));
+        assert_eq!(m.row_values(1), &[Nat(10), Nat(11)]);
+    }
+
+    #[test]
+    fn reference_multiply_small_dense() {
+        // [1 2; 3 4] × [5 6; 7 8] = [19 22; 43 50]
+        let a = SparseMatrix::from_fn(Support::full(2, 2), |i, j| {
+            Nat([[1, 2], [3, 4]][i as usize][j as usize])
+        });
+        let b = SparseMatrix::from_fn(Support::full(2, 2), |i, j| {
+            Nat([[5, 6], [7, 8]][i as usize][j as usize])
+        });
+        let x = reference_multiply(&a, &b, &Support::full(2, 2));
+        assert_eq!(x.get(0, 0), Nat(19));
+        assert_eq!(x.get(0, 1), Nat(22));
+        assert_eq!(x.get(1, 0), Nat(43));
+        assert_eq!(x.get(1, 1), Nat(50));
+    }
+
+    #[test]
+    fn reference_multiply_respects_mask() {
+        let a = SparseMatrix::from_fn(Support::full(2, 2), |_, _| Nat(1));
+        let b = SparseMatrix::from_fn(Support::full(2, 2), |_, _| Nat(1));
+        let xhat = Support::identity(2);
+        let x = reference_multiply(&a, &b, &xhat);
+        assert_eq!(x.get(0, 0), Nat(2));
+        assert_eq!(x.get(0, 1), Nat(0), "masked out");
+        assert_eq!(x.support().nnz(), 2);
+    }
+
+    #[test]
+    fn boolean_product_detects_paths() {
+        // A: 0→1; B: 1→2 ⇒ X(0,2) = true.
+        let a = SparseMatrix::from_fn(Support::from_entries(3, 3, vec![(0, 1)]), |_, _| Bool(true));
+        let b = SparseMatrix::from_fn(Support::from_entries(3, 3, vec![(1, 2)]), |_, _| Bool(true));
+        let x = reference_multiply(&a, &b, &Support::full(3, 3));
+        assert_eq!(x.get(0, 2), Bool(true));
+        assert_eq!(x.get(0, 1), Bool(false));
+    }
+
+    #[test]
+    fn tropical_product_is_distance_product() {
+        // Path 0 -(2)-> 1 -(3)-> 2 and direct 0 -(10)-> 2 ... via two hops
+        // the distance product of A (first hop) and B (second hop) gives 5.
+        let a = SparseMatrix::from_fn(Support::from_entries(3, 3, vec![(0, 1), (0, 2)]), |_, j| {
+            if j == 1 {
+                MinPlus::weight(2)
+            } else {
+                MinPlus::weight(10)
+            }
+        });
+        let b = SparseMatrix::from_fn(Support::from_entries(3, 3, vec![(1, 2), (2, 2)]), |i, _| {
+            if i == 1 {
+                MinPlus::weight(3)
+            } else {
+                MinPlus::weight(0)
+            }
+        });
+        let x = reference_multiply(&a, &b, &Support::full(3, 3));
+        assert_eq!(x.get(0, 2), MinPlus(5), "min(2+3, 10+0) = 5");
+    }
+
+    #[test]
+    fn field_product_matches_integer_model() {
+        let a = SparseMatrix::from_fn(Support::full(3, 3), |i, j| Fp::new(u64::from(i + j + 1)));
+        let b = SparseMatrix::from_fn(Support::full(3, 3), |i, j| Fp::new(u64::from(2 * i + j)));
+        let x = reference_multiply(&a, &b, &Support::full(3, 3));
+        // Check one entry by hand: X(1,2) = Σ_j A(1,j)·B(j,2)
+        //   = 2·2 + 3·4 + 4·6 = 40.
+        assert_eq!(x.get(1, 2), Fp::new(40));
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let s = Support::from_entries(2, 3, vec![(0, 2), (1, 0)]);
+        let m: SparseMatrix<Nat> = SparseMatrix::from_fn(s, |i, j| Nat(u64::from(i + j)));
+        let d = m.to_dense();
+        assert_eq!(d[0][2], Nat(2));
+        assert_eq!(d[1][0], Nat(1));
+        assert_eq!(d[0][0], Nat(0));
+    }
+}

@@ -1,0 +1,252 @@
+//! Indicator matrices: the structure known in advance in the supported model.
+//!
+//! A [`Support`] records *which* entries of a matrix may be nonzero (for
+//! `Â`, `B̂`) or are of interest (for `X̂`) — §2.1 of the paper. Supports are
+//! stored in both row-major and column-major adjacency form so that all the
+//! per-row/per-column questions the sparsity classes and triangle machinery
+//! ask are O(1) or O(log) per query.
+
+/// A sparsity pattern of an `rows × cols` matrix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Support {
+    rows: usize,
+    cols: usize,
+    /// `row_adj[i]` = sorted column indices of the entries in row `i`.
+    row_adj: Vec<Vec<u32>>,
+    /// `col_adj[j]` = sorted row indices of the entries in column `j`.
+    col_adj: Vec<Vec<u32>>,
+    nnz: usize,
+}
+
+impl Support {
+    /// Build a support from an entry list. Duplicates are coalesced.
+    ///
+    /// # Panics
+    /// Panics if any entry is out of bounds.
+    pub fn from_entries(
+        rows: usize,
+        cols: usize,
+        entries: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Support {
+        let mut row_adj: Vec<Vec<u32>> = vec![Vec::new(); rows];
+        let mut col_adj: Vec<Vec<u32>> = vec![Vec::new(); cols];
+        for (i, j) in entries {
+            assert!(
+                (i as usize) < rows && (j as usize) < cols,
+                "entry ({i},{j}) out of bounds for {rows}×{cols} support"
+            );
+            row_adj[i as usize].push(j);
+        }
+        let mut nnz = 0;
+        for (i, r) in row_adj.iter_mut().enumerate() {
+            r.sort_unstable();
+            r.dedup();
+            nnz += r.len();
+            for &j in r.iter() {
+                col_adj[j as usize].push(i as u32);
+            }
+        }
+        // col_adj rows are filled in increasing i, already sorted.
+        Support {
+            rows,
+            cols,
+            row_adj,
+            col_adj,
+            nnz,
+        }
+    }
+
+    /// The empty support.
+    pub fn empty(rows: usize, cols: usize) -> Support {
+        Support::from_entries(rows, cols, std::iter::empty())
+    }
+
+    /// The full (general/dense) support.
+    pub fn full(rows: usize, cols: usize) -> Support {
+        Support::from_entries(
+            rows,
+            cols,
+            (0..rows as u32).flat_map(|i| (0..cols as u32).map(move |j| (i, j))),
+        )
+    }
+
+    /// The identity-pattern support (diagonal).
+    pub fn identity(n: usize) -> Support {
+        Support::from_entries(n, n, (0..n as u32).map(|i| (i, i)))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of entries.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Sorted column indices of row `i`.
+    pub fn row(&self, i: u32) -> &[u32] {
+        &self.row_adj[i as usize]
+    }
+
+    /// Sorted row indices of column `j`.
+    pub fn col(&self, j: u32) -> &[u32] {
+        &self.col_adj[j as usize]
+    }
+
+    /// Number of entries in row `i`.
+    pub fn row_nnz(&self, i: u32) -> usize {
+        self.row_adj[i as usize].len()
+    }
+
+    /// Number of entries in column `j`.
+    pub fn col_nnz(&self, j: u32) -> usize {
+        self.col_adj[j as usize].len()
+    }
+
+    /// Maximum row degree.
+    pub fn max_row_nnz(&self) -> usize {
+        self.row_adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Maximum column degree.
+    pub fn max_col_nnz(&self) -> usize {
+        self.col_adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, i: u32, j: u32) -> bool {
+        self.row_adj[i as usize].binary_search(&j).is_ok()
+    }
+
+    /// Position of entry `(i, j)` within row `i`, if present — a stable
+    /// per-row index used to align value vectors.
+    pub fn row_offset(&self, i: u32, j: u32) -> Option<usize> {
+        self.row_adj[i as usize].binary_search(&j).ok()
+    }
+
+    /// Iterate over all entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.row_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.iter().map(move |&j| (i as u32, j)))
+    }
+
+    /// The transposed support.
+    pub fn transpose(&self) -> Support {
+        Support {
+            rows: self.cols,
+            cols: self.rows,
+            row_adj: self.col_adj.clone(),
+            col_adj: self.row_adj.clone(),
+            nnz: self.nnz,
+        }
+    }
+
+    /// Entrywise union of two supports of equal shape.
+    pub fn union(&self, other: &Support) -> Support {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Support::from_entries(self.rows, self.cols, self.iter().chain(other.iter()))
+    }
+
+    /// The support of the *product* pattern `self · other` (boolean matrix
+    /// product of the indicators): entry `(i,k)` present iff some `j` has
+    /// `(i,j)` and `(j,k)`.
+    pub fn product_pattern(&self, other: &Support) -> Support {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut entries = Vec::new();
+        let mut seen = vec![u32::MAX; other.cols];
+        for i in 0..self.rows as u32 {
+            for &j in self.row(i) {
+                for &k in other.row(j) {
+                    if seen[k as usize] != i {
+                        seen[k as usize] = i;
+                        entries.push((i, k));
+                    }
+                }
+            }
+        }
+        Support::from_entries(self.rows, other.cols, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let s = Support::from_entries(3, 4, vec![(0, 1), (0, 3), (2, 0), (0, 1)]);
+        assert_eq!(s.nnz(), 3, "duplicates coalesce");
+        assert_eq!(s.row(0), &[1, 3]);
+        assert_eq!(s.row(1), &[] as &[u32]);
+        assert_eq!(s.col(0), &[2]);
+        assert_eq!(s.col(1), &[0]);
+        assert!(s.contains(2, 0));
+        assert!(!s.contains(2, 1));
+        assert_eq!(s.row_offset(0, 3), Some(1));
+        assert_eq!(s.row_offset(0, 2), None);
+        assert_eq!(s.max_row_nnz(), 2);
+        assert_eq!(s.max_col_nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_entry_panics() {
+        let _ = Support::from_entries(2, 2, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn full_and_identity() {
+        let f = Support::full(3, 2);
+        assert_eq!(f.nnz(), 6);
+        let id = Support::identity(4);
+        assert_eq!(id.nnz(), 4);
+        assert!(id.contains(2, 2));
+        assert!(!id.contains(2, 3));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let s = Support::from_entries(3, 5, vec![(0, 4), (1, 1), (2, 3), (2, 0)]);
+        let t = s.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert!(t.contains(4, 0));
+        assert_eq!(t.transpose(), s);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = Support::from_entries(2, 2, vec![(0, 0)]);
+        let b = Support::from_entries(2, 2, vec![(0, 0), (1, 1)]);
+        let u = a.union(&b);
+        assert_eq!(u.nnz(), 2);
+    }
+
+    #[test]
+    fn product_pattern_matches_boolean_product() {
+        // A: row 0 hits cols {0,1}; B: row 0 hits {2}, row 1 hits {2}.
+        let a = Support::from_entries(2, 2, vec![(0, 0), (0, 1)]);
+        let b = Support::from_entries(2, 3, vec![(0, 2), (1, 2)]);
+        let p = a.product_pattern(&b);
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.cols(), 3);
+        assert_eq!(p.nnz(), 1);
+        assert!(p.contains(0, 2));
+    }
+
+    #[test]
+    fn iter_is_row_major_sorted() {
+        let s = Support::from_entries(2, 3, vec![(1, 2), (0, 1), (1, 0)]);
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![(0, 1), (1, 0), (1, 2)]);
+    }
+}

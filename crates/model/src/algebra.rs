@@ -1,0 +1,114 @@
+//! Algebraic structures carried by messages.
+//!
+//! The paper states its results for matrix multiplication over *semirings*
+//! (addition + multiplication, no subtraction) and over *fields* (where fast
+//! dense multiplication à la Strassen applies). The message payloads of the
+//! simulator are elements of a [`Semiring`]; the richer [`Ring`] and
+//! [`Field`] traits are used by the dense kernels in `lowband-matrix`.
+//!
+//! One semiring, [`Nat`] (`u64` with saturating `+`/`×`), lives here so that
+//! the model crate is self-contained and testable; the full set of algebra
+//! implementations (Boolean, tropical, `𝔽_p`, …) lives in `lowband-matrix`.
+
+/// A commutative semiring `(S, +, ·, 0, 1)`.
+///
+/// Requirements (checked by property tests in `lowband-matrix`):
+/// `+` is associative and commutative with identity `zero`; `·` is
+/// associative with identity `one`; `·` distributes over `+`;
+/// `zero · x = zero`.
+pub trait Semiring: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Semiring addition.
+    fn add(&self, rhs: &Self) -> Self;
+    /// Semiring multiplication.
+    fn mul(&self, rhs: &Self) -> Self;
+
+    /// `true` iff this element equals [`Semiring::zero`].
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// The additive inverse, when the structure has one.
+    ///
+    /// Semirings return `None` (the default); every [`Ring`] implementation
+    /// overrides this to `Some(self.neg())`. The executor uses it for the
+    /// subtraction op that Strassen-style field schedules need, failing
+    /// loudly when such a schedule is run over a plain semiring.
+    fn try_neg(&self) -> Option<Self> {
+        None
+    }
+}
+
+/// A commutative ring: a semiring with additive inverses.
+///
+/// Subtraction is what Strassen-style fast multiplication needs, so the
+/// paper's "fields" results only require this much from the local kernels.
+pub trait Ring: Semiring {
+    /// Additive inverse.
+    ///
+    /// Implementations must also override [`Semiring::try_neg`] to
+    /// `Some(self.neg())` so ring-only schedule ops work at run time.
+    fn neg(&self) -> Self;
+
+    /// `self - rhs`, default via [`Ring::neg`].
+    fn sub(&self, rhs: &Self) -> Self {
+        self.add(&rhs.neg())
+    }
+}
+
+/// A field: a ring where every nonzero element has a multiplicative inverse.
+pub trait Field: Ring {
+    /// Multiplicative inverse; `None` for zero.
+    fn inv(&self) -> Option<Self>;
+}
+
+/// The semiring of natural numbers under saturating `u64` arithmetic.
+///
+/// Saturation keeps the structure a genuine (commutative, zero-annihilating)
+/// semiring on the representable range while avoiding overflow panics in
+/// debug builds; tests use values small enough that saturation never fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Nat(pub u64);
+
+impl Semiring for Nat {
+    fn zero() -> Self {
+        Nat(0)
+    }
+    fn one() -> Self {
+        Nat(1)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        Nat(self.0.saturating_add(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        Nat(self.0.saturating_mul(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_semiring_laws_smoke() {
+        let (a, b, c) = (Nat(3), Nat(5), Nat(7));
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        assert_eq!(a.add(&Nat::zero()), a);
+        assert_eq!(a.mul(&Nat::one()), a);
+        assert_eq!(a.mul(&Nat::zero()), Nat::zero());
+        assert!(Nat::zero().is_zero());
+        assert!(!Nat::one().is_zero());
+    }
+
+    #[test]
+    fn nat_saturates_instead_of_wrapping() {
+        let big = Nat(u64::MAX);
+        assert_eq!(big.add(&Nat(1)), big);
+        assert_eq!(big.mul(&Nat(2)), big);
+    }
+}

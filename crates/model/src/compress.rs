@@ -1,0 +1,424 @@
+//! Dataflow round compression: semantics-preserving schedule pipelining.
+//!
+//! Algorithms in `lowband-core` compile as sequences of *phases* (route,
+//! kick, broadcast, deliver, …), each scheduled tightly on its own but
+//! strictly after the previous one. Messages of a later phase that do not
+//! depend on the earlier phase's values could travel earlier — phases can
+//! *overlap*. [`compress`] performs that pipelining: it list-schedules every
+//! event at the earliest round consistent with
+//!
+//! * **flow dependencies** — a value must be fully written strictly before
+//!   a round that sends it (and no later than the compute slot that reads
+//!   it);
+//! * **anti dependencies** — a write may not overtake a read of the old
+//!   value (a read and a write in the *same* round are fine: the machine
+//!   reads all payloads before delivering any);
+//! * **output dependencies** — writes to the same key keep their order;
+//! * the **bandwidth constraint** — per round, each node sends ≤ `capacity`
+//!   and receives ≤ `capacity` messages.
+//!
+//! Timing model: communication round `r ≥ 1` acts at time `2r`; the free
+//! compute slot after round `s` acts at time `2s + 1` (slot 0 precedes the
+//! first round). Reads act at the start of their time point, writes at the
+//! end, which encodes the read-before-write round semantics exactly.
+//!
+//! Correctness relies only on the machine semantics (it is checked by
+//! property tests that compressed and original schedules produce identical
+//! stores); it does *not* assume the semiring is commutative beyond what
+//! [`Merge::Add`] already requires.
+
+use std::collections::HashMap;
+
+use crate::schedule::{LocalOp, Merge, Round, Step};
+use crate::{Key, NodeId, Schedule, ScheduleBuilder};
+
+/// Per-(node, key) dependency clock.
+#[derive(Clone, Copy, Default)]
+struct KeyClock {
+    /// Time of the last scheduled write (0 = initial load / never).
+    write: u64,
+    /// Time of the last scheduled read.
+    read: u64,
+}
+
+struct Compressor {
+    n: usize,
+    capacity: u32,
+    clocks: HashMap<(u32, Key), KeyClock>,
+    /// Per-round per-node send/receive counts (index round − 1).
+    send_used: Vec<HashMap<u32, u32>>,
+    recv_used: Vec<HashMap<u32, u32>>,
+    /// The new rounds and compute slots being assembled.
+    rounds: Vec<Vec<crate::Transfer>>,
+    slots: Vec<Vec<LocalOp>>, // slot s runs after round s (slot 0 first)
+}
+
+impl Compressor {
+    fn new(n: usize, capacity: u32) -> Compressor {
+        Compressor {
+            n,
+            capacity,
+            clocks: HashMap::new(),
+            send_used: Vec::new(),
+            recv_used: Vec::new(),
+            rounds: Vec::new(),
+            slots: vec![Vec::new()],
+        }
+    }
+
+    fn clock(&mut self, node: NodeId, key: Key) -> &mut KeyClock {
+        self.clocks.entry((node.0, key)).or_default()
+    }
+
+    fn ensure_round(&mut self, r: usize) {
+        while self.rounds.len() < r {
+            self.rounds.push(Vec::new());
+            self.send_used.push(HashMap::new());
+            self.recv_used.push(HashMap::new());
+        }
+        while self.slots.len() <= self.rounds.len() {
+            self.slots.push(Vec::new());
+        }
+    }
+
+    fn round_has_slot(&self, r: usize, src: NodeId, dst: NodeId) -> bool {
+        if r > self.rounds.len() {
+            return true; // fresh round
+        }
+        let s = self.send_used[r - 1].get(&src.0).copied().unwrap_or(0);
+        let d = self.recv_used[r - 1].get(&dst.0).copied().unwrap_or(0);
+        s < self.capacity && d < self.capacity
+    }
+
+    fn place_transfer(&mut self, t: crate::Transfer) {
+        // Flow: source value fully written before the round fires.
+        let src_written = self.clock(t.src, t.src_key).write;
+        // earliest round from src availability: 2r > src_written, i.e.
+        // r ≥ floor(src_written / 2) + 1.
+        let mut r = (src_written / 2 + 1).max(1) as usize;
+        // Anti dependency: a write may not overtake a read of the old value
+        // (ties are fine — within a round all reads precede all writes):
+        // 2r ≥ last read.
+        let dst_clock = *self.clock(t.dst, t.dst_key);
+        r = r.max(dst_clock.read.div_ceil(2).max(1) as usize);
+        // Output dependency: strictly after any earlier write to the same
+        // key (two same-round writes have no defined order once capacity
+        // exceeds 1): 2r > last write.
+        r = r.max((dst_clock.write / 2 + 1) as usize);
+        while !self.round_has_slot(r, t.src, t.dst) {
+            r += 1;
+        }
+        self.ensure_round(r);
+        *self.send_used[r - 1].entry(t.src.0).or_insert(0) += 1;
+        *self.recv_used[r - 1].entry(t.dst.0).or_insert(0) += 1;
+        self.rounds[r - 1].push(t);
+        let time = 2 * r as u64;
+        self.clock(t.src, t.src_key).read = self.clock(t.src, t.src_key).read.max(time);
+        let dc = self.clock(t.dst, t.dst_key);
+        dc.write = dc.write.max(time);
+        if t.merge == Merge::Add {
+            // An Add also "reads" the accumulator.
+            dc.read = dc.read.max(time);
+        }
+    }
+
+    fn place_compute(&mut self, op: LocalOp) {
+        let node = op.node();
+        let (reads, writes): (Vec<Key>, Vec<Key>) = match op {
+            LocalOp::Mul { dst, lhs, rhs, .. } => (vec![lhs, rhs], vec![dst]),
+            LocalOp::MulAdd { dst, lhs, rhs, .. } => (vec![lhs, rhs, dst], vec![dst]),
+            LocalOp::AddAssign { dst, src, .. } => (vec![src, dst], vec![dst]),
+            LocalOp::SubAssign { dst, src, .. } => (vec![src, dst], vec![dst]),
+            LocalOp::BlockMulAdd {
+                dim,
+                a_ns,
+                b_ns,
+                c_ns,
+                ..
+            } => {
+                let dim = dim as u64;
+                let mut reads = Vec::with_capacity(3 * (dim * dim) as usize);
+                let mut writes = Vec::with_capacity((dim * dim) as usize);
+                for idx in 0..dim * dim {
+                    reads.push(Key::tmp(a_ns, idx));
+                    reads.push(Key::tmp(b_ns, idx));
+                    reads.push(Key::tmp(c_ns, idx));
+                    writes.push(Key::tmp(c_ns, idx));
+                }
+                (reads, writes)
+            }
+            LocalOp::Copy { dst, src, .. } => (vec![src], vec![dst]),
+            LocalOp::Zero { dst, .. } => (vec![], vec![dst]),
+            LocalOp::Free { key, .. } => (vec![], vec![key]),
+        };
+        // Slot s acts at time 2s + 1; needs inputs written at ≤ 2s + 1 and
+        // write deps ≤ 2s + 1.
+        let mut need: u64 = 0;
+        for &k in &reads {
+            need = need.max(self.clock(node, k).write);
+        }
+        for &k in &writes {
+            let c = *self.clock(node, k);
+            need = need.max(c.read).max(c.write);
+        }
+        // smallest s with 2s + 1 ≥ need.
+        let s = (need.saturating_sub(1)).div_ceil(2) as usize;
+        while self.slots.len() <= s {
+            self.slots.push(Vec::new());
+        }
+        self.slots[s].push(op);
+        let time = 2 * s as u64 + 1;
+        for &k in &reads {
+            let c = self.clock(node, k);
+            c.read = c.read.max(time);
+        }
+        for &k in &writes {
+            let c = self.clock(node, k);
+            c.write = c.write.max(time);
+        }
+    }
+
+    fn finish(mut self) -> Schedule {
+        self.ensure_round(self.rounds.len());
+        let mut b = ScheduleBuilder::with_capacity(self.n, self.capacity as usize);
+        let num_rounds = self.rounds.len();
+        for r in 0..=num_rounds {
+            if r < self.slots.len() {
+                b.compute(std::mem::take(&mut self.slots[r]))
+                    .expect("ops were valid in the source schedule");
+            }
+            if r < num_rounds {
+                b.round(std::mem::take(&mut self.rounds[r]))
+                    .expect("capacity was respected during placement");
+            }
+        }
+        // Any trailing compute slots beyond the last round.
+        for s in (num_rounds + 1)..self.slots.len() {
+            let ops = std::mem::take(&mut self.slots[s]);
+            b.compute(ops)
+                .expect("ops were valid in the source schedule");
+        }
+        b.build()
+    }
+}
+
+/// Pipeline a schedule: produce an equivalent schedule (identical final
+/// machine state for every input) with at most — and usually far fewer
+/// than — the original number of rounds.
+pub fn compress(schedule: &Schedule) -> Schedule {
+    let mut c = Compressor::new(schedule.n(), schedule.capacity() as u32);
+    for step in schedule.steps() {
+        match step {
+            Step::Comm(Round { transfers }) => {
+                for t in transfers {
+                    c.place_transfer(*t);
+                }
+            }
+            Step::Compute(ops) => {
+                for op in ops {
+                    c.place_compute(*op);
+                }
+            }
+        }
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Nat;
+    use crate::{Machine, Transfer};
+
+    fn t(src: u32, sk: Key, dst: u32, dk: Key, merge: Merge) -> Transfer {
+        Transfer {
+            src: NodeId(src),
+            src_key: sk,
+            dst: NodeId(dst),
+            dst_key: dk,
+            merge,
+        }
+    }
+
+    /// Run both schedules from the same initial loads and compare final
+    /// stores on the given keys.
+    fn equivalent(
+        n: usize,
+        loads: &[(u32, Key, u64)],
+        original: &Schedule,
+        observe: &[(u32, Key)],
+    ) {
+        let compressed = compress(original);
+        assert!(compressed.rounds() <= original.rounds());
+        assert_eq!(compressed.messages(), original.messages());
+        let mut m1: Machine<Nat> = Machine::new(n);
+        let mut m2: Machine<Nat> = Machine::new(n);
+        for &(node, key, v) in loads {
+            m1.load(NodeId(node), key, Nat(v));
+            m2.load(NodeId(node), key, Nat(v));
+        }
+        m1.run(original).unwrap();
+        m2.run(&compressed).unwrap();
+        for &(node, key) in observe {
+            assert_eq!(
+                m1.get(NodeId(node), key),
+                m2.get(NodeId(node), key),
+                "divergence at node {node} key {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_rounds_merge_into_one() {
+        // Two sequential rounds with disjoint nodes compress to one round.
+        let mut b = ScheduleBuilder::new(4);
+        b.round(vec![t(0, Key::a(0, 0), 1, Key::a(0, 0), Merge::Overwrite)])
+            .unwrap();
+        b.round(vec![t(2, Key::a(1, 0), 3, Key::a(1, 0), Merge::Overwrite)])
+            .unwrap();
+        let s = b.build();
+        let c = compress(&s);
+        assert_eq!(c.rounds(), 1);
+        equivalent(
+            4,
+            &[(0, Key::a(0, 0), 5), (2, Key::a(1, 0), 7)],
+            &s,
+            &[(1, Key::a(0, 0)), (3, Key::a(1, 0))],
+        );
+    }
+
+    #[test]
+    fn flow_dependencies_are_respected() {
+        // Relay 0 → 1 → 2: cannot compress below 2 rounds.
+        let mut b = ScheduleBuilder::new(3);
+        b.round(vec![t(0, Key::a(0, 0), 1, Key::a(0, 0), Merge::Overwrite)])
+            .unwrap();
+        b.round(vec![t(1, Key::a(0, 0), 2, Key::a(0, 0), Merge::Overwrite)])
+            .unwrap();
+        let s = b.build();
+        let c = compress(&s);
+        assert_eq!(c.rounds(), 2, "a relay needs both hops");
+        equivalent(3, &[(0, Key::a(0, 0), 9)], &s, &[(2, Key::a(0, 0))]);
+    }
+
+    #[test]
+    fn anti_dependency_read_then_overwrite() {
+        // Round 1: node 0 sends K to node 1. Round 2: node 2 overwrites K
+        // at node 0. The overwrite may move into round 1 (read-before-write
+        // within a round), but not earlier, and node 1 must still see the
+        // OLD value.
+        let mut b = ScheduleBuilder::new(3);
+        b.round(vec![t(
+            0,
+            Key::tmp(0, 0),
+            1,
+            Key::tmp(0, 1),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        b.round(vec![t(
+            2,
+            Key::tmp(0, 2),
+            0,
+            Key::tmp(0, 0),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        let s = b.build();
+        equivalent(
+            3,
+            &[(0, Key::tmp(0, 0), 11), (2, Key::tmp(0, 2), 99)],
+            &s,
+            &[(1, Key::tmp(0, 1)), (0, Key::tmp(0, 0))],
+        );
+    }
+
+    #[test]
+    fn compute_dependencies_are_respected() {
+        // Round 1 delivers a factor; the product must compute after it and
+        // the result ships afterwards.
+        let mut b = ScheduleBuilder::new(3);
+        b.round(vec![t(0, Key::a(0, 0), 1, Key::a(0, 0), Merge::Overwrite)])
+            .unwrap();
+        b.compute(vec![LocalOp::MulAdd {
+            node: NodeId(1),
+            dst: Key::x(0, 0),
+            lhs: Key::a(0, 0),
+            rhs: Key::b(0, 0),
+        }])
+        .unwrap();
+        b.round(vec![t(1, Key::x(0, 0), 2, Key::x(0, 0), Merge::Overwrite)])
+            .unwrap();
+        let s = b.build();
+        let c = compress(&s);
+        assert_eq!(c.rounds(), 2);
+        equivalent(
+            3,
+            &[(0, Key::a(0, 0), 6), (1, Key::b(0, 0), 7)],
+            &s,
+            &[(2, Key::x(0, 0))],
+        );
+    }
+
+    #[test]
+    fn adds_into_one_accumulator_serialize_on_bandwidth() {
+        // Three adds into node 0 from distinct sources: receive capacity
+        // forces 3 rounds, compression cannot cheat.
+        let mut b = ScheduleBuilder::new(4);
+        for i in 1..4u32 {
+            b.round(vec![t(i, Key::tmp(0, 0), 0, Key::x(0, 0), Merge::Add)])
+                .unwrap();
+        }
+        let s = b.build();
+        let c = compress(&s);
+        assert_eq!(c.rounds(), 3);
+        equivalent(
+            4,
+            &[
+                (1, Key::tmp(0, 0), 1),
+                (2, Key::tmp(0, 0), 2),
+                (3, Key::tmp(0, 0), 4),
+            ],
+            &s,
+            &[(0, Key::x(0, 0))],
+        );
+    }
+
+    #[test]
+    fn trailing_compute_is_preserved() {
+        let mut b = ScheduleBuilder::new(2);
+        b.round(vec![t(0, Key::a(0, 0), 1, Key::a(0, 0), Merge::Overwrite)])
+            .unwrap();
+        b.compute(vec![LocalOp::Copy {
+            node: NodeId(1),
+            dst: Key::tmp(9, 9),
+            src: Key::a(0, 0),
+        }])
+        .unwrap();
+        let s = b.build();
+        equivalent(2, &[(0, Key::a(0, 0), 3)], &s, &[(1, Key::tmp(9, 9))]);
+    }
+
+    #[test]
+    fn capacity_is_preserved_and_exploited() {
+        // Capacity-2 schedule with two sequential rounds of sends from the
+        // same source: compression packs them into one round (2 slots).
+        let mut b = ScheduleBuilder::with_capacity(3, 2);
+        b.round(vec![t(0, Key::a(0, 0), 1, Key::a(0, 0), Merge::Overwrite)])
+            .unwrap();
+        b.round(vec![t(0, Key::a(0, 1), 2, Key::a(0, 1), Merge::Overwrite)])
+            .unwrap();
+        let s = b.build();
+        let c = compress(&s);
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn empty_schedule_compresses_to_empty() {
+        let s = ScheduleBuilder::new(2).build();
+        let c = compress(&s);
+        assert_eq!(c.rounds(), 0);
+        assert_eq!(c.messages(), 0);
+    }
+}

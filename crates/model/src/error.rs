@@ -1,0 +1,68 @@
+//! Errors raised while building or executing schedules.
+
+use crate::{Key, NodeId};
+
+/// Everything that can go wrong in the model layer.
+///
+/// Schedule construction errors ([`ModelError::SendConflict`],
+/// [`ModelError::ReceiveConflict`], [`ModelError::NodeOutOfRange`]) are the
+/// model's bandwidth constraint doing its job: a round in which some
+/// computer would send or receive two messages is not a low-bandwidth round
+/// and is rejected eagerly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// A node appears as the source of two transfers in one round.
+    SendConflict { round: usize, node: NodeId },
+    /// A node appears as the destination of two transfers in one round.
+    ReceiveConflict { round: usize, node: NodeId },
+    /// A transfer or local op references a node `>= n`.
+    NodeOutOfRange { node: NodeId, n: usize },
+    /// At execution time, a referenced source key held no value.
+    MissingValue { node: NodeId, key: Key, step: usize },
+    /// A schedule built for `expected` nodes was run on a machine with
+    /// `actual` nodes.
+    SizeMismatch { expected: usize, actual: usize },
+    /// An op required algebraic structure the value type lacks (e.g.
+    /// subtraction over a plain semiring).
+    UnsupportedOp {
+        /// Node executing the op.
+        node: NodeId,
+        /// Step index.
+        step: usize,
+        /// What was required.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::SendConflict { round, node } => {
+                write!(f, "round {round}: node {node} would send two messages")
+            }
+            ModelError::ReceiveConflict { round, node } => {
+                write!(f, "round {round}: node {node} would receive two messages")
+            }
+            ModelError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for network of size {n}")
+            }
+            ModelError::MissingValue { node, key, step } => {
+                write!(f, "step {step}: node {node} holds no value for key {key:?}")
+            }
+            ModelError::SizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "schedule compiled for {expected} nodes run on machine with {actual} nodes"
+                )
+            }
+            ModelError::UnsupportedOp { node, step, what } => {
+                write!(
+                    f,
+                    "step {step}: node {node} needs {what} which the value type lacks"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

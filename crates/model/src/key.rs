@@ -1,0 +1,176 @@
+//! Keys naming the values stored in a node's local store.
+//!
+//! Every datum an algorithm routes through the network — an input element
+//! `A_ij` or `B_jk`, an output element `X_ik`, a partial product, or a
+//! temporary used by a routing primitive — is addressed by a [`Key`]. Keys
+//! are compact (`u128`) so per-node stores stay cache-friendly, and carry a
+//! tag so that traces are human-readable.
+//!
+//! Matrix indices follow the paper's tripartite convention: `A` is indexed
+//! `I × J`, `B` is indexed `J × K`, and `X` is indexed `I × K` (§2.2).
+
+/// The kind of datum a [`Key`] names.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum KeyKind {
+    /// Input element `A_ij`.
+    A,
+    /// Input element `B_jk`.
+    B,
+    /// Output element `X_ik` (accumulator).
+    X,
+    /// A partial product destined for some `X_ik`.
+    Prod,
+    /// Scratch value owned by a routing primitive; `ns` disambiguates
+    /// concurrent primitives.
+    Tmp,
+}
+
+/// Compact key for a value in a node-local store.
+///
+/// Layout: 8-bit tag, two 60-bit index fields. Indices must be `< 2^60`,
+/// which comfortably covers any instance this simulator can hold in memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(u128);
+
+const FIELD_BITS: u32 = 60;
+const FIELD_MASK: u128 = (1u128 << FIELD_BITS) - 1;
+
+impl Key {
+    #[inline]
+    fn pack(tag: u8, a: u64, b: u64) -> Key {
+        debug_assert!(u128::from(a) <= FIELD_MASK && u128::from(b) <= FIELD_MASK);
+        Key((u128::from(tag) << (2 * FIELD_BITS)) | (u128::from(a) << FIELD_BITS) | u128::from(b))
+    }
+
+    /// Key of the input element `A_ij`.
+    #[inline]
+    pub fn a(i: u64, j: u64) -> Key {
+        Key::pack(0, i, j)
+    }
+
+    /// Key of the input element `B_jk`.
+    #[inline]
+    pub fn b(j: u64, k: u64) -> Key {
+        Key::pack(1, j, k)
+    }
+
+    /// Key of the output accumulator `X_ik`.
+    #[inline]
+    pub fn x(i: u64, k: u64) -> Key {
+        Key::pack(2, i, k)
+    }
+
+    /// Key of a partial product; `slot` is chosen by the algorithm so that
+    /// concurrent products on the same node do not collide.
+    #[inline]
+    pub fn prod(slot: u64, sub: u64) -> Key {
+        Key::pack(3, slot, sub)
+    }
+
+    /// Key of a temporary in namespace `ns` (one namespace per primitive
+    /// invocation).
+    #[inline]
+    pub fn tmp(ns: u64, id: u64) -> Key {
+        Key::pack(4, ns, id)
+    }
+
+    /// The raw 128-bit representation (for serialization).
+    #[inline]
+    pub fn to_raw(self) -> u128 {
+        self.0
+    }
+
+    /// Rebuild a key from its raw representation (inverse of
+    /// [`Key::to_raw`]).
+    #[inline]
+    pub fn from_raw(raw: u128) -> Key {
+        Key(raw)
+    }
+
+    /// The tag of this key.
+    #[inline]
+    pub fn kind(self) -> KeyKind {
+        match (self.0 >> (2 * FIELD_BITS)) as u8 {
+            0 => KeyKind::A,
+            1 => KeyKind::B,
+            2 => KeyKind::X,
+            3 => KeyKind::Prod,
+            _ => KeyKind::Tmp,
+        }
+    }
+
+    /// First index field (`i` for `A`/`X`, `j` for `B`, `slot`/`ns` for
+    /// scratch keys).
+    #[inline]
+    pub fn fst(self) -> u64 {
+        ((self.0 >> FIELD_BITS) & FIELD_MASK) as u64
+    }
+
+    /// Second index field.
+    #[inline]
+    pub fn snd(self) -> u64 {
+        (self.0 & FIELD_MASK) as u64
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind() {
+            KeyKind::A => write!(f, "A({},{})", self.fst(), self.snd()),
+            KeyKind::B => write!(f, "B({},{})", self.fst(), self.snd()),
+            KeyKind::X => write!(f, "X({},{})", self.fst(), self.snd()),
+            KeyKind::Prod => write!(f, "P({},{})", self.fst(), self.snd()),
+            KeyKind::Tmp => write!(f, "T({},{})", self.fst(), self.snd()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let k = Key::a(123, 456);
+        assert_eq!(k.kind(), KeyKind::A);
+        assert_eq!(k.fst(), 123);
+        assert_eq!(k.snd(), 456);
+
+        let k = Key::b(0, u64::MAX >> 4);
+        assert_eq!(k.kind(), KeyKind::B);
+        assert_eq!(k.snd(), u64::MAX >> 4);
+
+        let k = Key::x(7, 9);
+        assert_eq!(k.kind(), KeyKind::X);
+
+        let k = Key::prod(42, 1);
+        assert_eq!(k.kind(), KeyKind::Prod);
+        assert_eq!(k.fst(), 42);
+
+        let k = Key::tmp(3, 4);
+        assert_eq!(k.kind(), KeyKind::Tmp);
+    }
+
+    #[test]
+    fn distinct_tags_never_collide() {
+        assert_ne!(Key::a(1, 2), Key::b(1, 2));
+        assert_ne!(Key::a(1, 2), Key::x(1, 2));
+        assert_ne!(Key::prod(1, 2), Key::tmp(1, 2));
+    }
+
+    #[test]
+    fn debug_format_is_readable() {
+        assert_eq!(format!("{:?}", Key::a(1, 2)), "A(1,2)");
+        assert_eq!(format!("{:?}", Key::x(3, 4)), "X(3,4)");
+    }
+
+    #[test]
+    fn ordering_groups_by_kind_then_indices() {
+        let mut keys = vec![Key::x(0, 0), Key::a(1, 0), Key::a(0, 5), Key::b(0, 0)];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![Key::a(0, 5), Key::a(1, 0), Key::b(0, 0), Key::x(0, 0)]
+        );
+    }
+}

@@ -1,0 +1,431 @@
+//! Schedule persistence: save and reload compiled programs.
+//!
+//! In the supported model a schedule is a function of the instance
+//! *structure* only, so it is a natural cacheable artifact: compile once
+//! (expensive on large instances — triangle enumeration, sorting, edge
+//! coloring), persist, and reload for every run with fresh values.
+//!
+//! The format is a line-oriented text format, versioned and
+//! self-describing:
+//!
+//! ```text
+//! lowband-schedule v1
+//! n <nodes> capacity <c>
+//! round <count>
+//! <src> <src_key:hex> <dst> <dst_key:hex> <o|a>
+//! …
+//! compute <count>
+//! mul <node> <dst:hex> <lhs:hex> <rhs:hex>
+//! …
+//! end
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::schedule::{LocalOp, Merge, Round, Step};
+use crate::{Key, NodeId, Schedule, ScheduleBuilder};
+
+/// Errors raised while reading a persisted schedule.
+#[derive(Debug)]
+pub enum SerialError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Parse {
+        /// 1-based line number (0 when not line-specific).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The reconstructed schedule violated the model constraints.
+    Model(crate::ModelError),
+}
+
+impl std::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerialError::Io(e) => write!(f, "i/o error: {e}"),
+            SerialError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            SerialError::Model(e) => write!(f, "invalid schedule: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+impl From<std::io::Error> for SerialError {
+    fn from(e: std::io::Error) -> SerialError {
+        SerialError::Io(e)
+    }
+}
+
+impl From<crate::ModelError> for SerialError {
+    fn from(e: crate::ModelError) -> SerialError {
+        SerialError::Model(e)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> SerialError {
+    SerialError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Write a schedule in the v1 text format.
+pub fn write_schedule<W: Write>(schedule: &Schedule, mut w: W) -> Result<(), SerialError> {
+    writeln!(w, "lowband-schedule v1")?;
+    writeln!(w, "n {} capacity {}", schedule.n(), schedule.capacity())?;
+    for step in schedule.steps() {
+        match step {
+            Step::Comm(Round { transfers }) => {
+                writeln!(w, "round {}", transfers.len())?;
+                for t in transfers {
+                    writeln!(
+                        w,
+                        "{} {:x} {} {:x} {}",
+                        t.src.0,
+                        t.src_key.to_raw(),
+                        t.dst.0,
+                        t.dst_key.to_raw(),
+                        match t.merge {
+                            Merge::Overwrite => "o",
+                            Merge::Add => "a",
+                        }
+                    )?;
+                }
+            }
+            Step::Compute(ops) => {
+                writeln!(w, "compute {}", ops.len())?;
+                for op in ops {
+                    match *op {
+                        LocalOp::Mul {
+                            node,
+                            dst,
+                            lhs,
+                            rhs,
+                        } => writeln!(
+                            w,
+                            "mul {} {:x} {:x} {:x}",
+                            node.0,
+                            dst.to_raw(),
+                            lhs.to_raw(),
+                            rhs.to_raw()
+                        )?,
+                        LocalOp::MulAdd {
+                            node,
+                            dst,
+                            lhs,
+                            rhs,
+                        } => writeln!(
+                            w,
+                            "muladd {} {:x} {:x} {:x}",
+                            node.0,
+                            dst.to_raw(),
+                            lhs.to_raw(),
+                            rhs.to_raw()
+                        )?,
+                        LocalOp::SubAssign { node, dst, src } => {
+                            writeln!(w, "sub {} {:x} {:x}", node.0, dst.to_raw(), src.to_raw())?
+                        }
+                        LocalOp::BlockMulAdd {
+                            node,
+                            dim,
+                            a_ns,
+                            b_ns,
+                            c_ns,
+                        } => writeln!(
+                            w,
+                            "blockmuladd {} {} {} {} {}",
+                            node.0, dim, a_ns, b_ns, c_ns
+                        )?,
+                        LocalOp::AddAssign { node, dst, src } => {
+                            writeln!(w, "add {} {:x} {:x}", node.0, dst.to_raw(), src.to_raw())?
+                        }
+                        LocalOp::Copy { node, dst, src } => {
+                            writeln!(w, "copy {} {:x} {:x}", node.0, dst.to_raw(), src.to_raw())?
+                        }
+                        LocalOp::Zero { node, dst } => {
+                            writeln!(w, "zero {} {:x}", node.0, dst.to_raw())?
+                        }
+                        LocalOp::Free { node, key } => {
+                            writeln!(w, "free {} {:x}", node.0, key.to_raw())?
+                        }
+                    }
+                }
+            }
+        }
+    }
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+/// Read a schedule from the v1 text format, re-validating the bandwidth
+/// constraint on every round.
+pub fn read_schedule<R: BufRead>(r: R) -> Result<Schedule, SerialError> {
+    let mut lines = r.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let mut next = move || -> Result<Option<(usize, String)>, SerialError> {
+        match lines.next() {
+            Some((i, l)) => Ok(Some((i, l?))),
+            None => Ok(None),
+        }
+    };
+
+    let (hl, header) = next()?.ok_or_else(|| err(0, "empty input"))?;
+    if header.trim() != "lowband-schedule v1" {
+        return Err(err(hl, "expected `lowband-schedule v1` header"));
+    }
+    let (sl, size) = next()?.ok_or_else(|| err(0, "missing size line"))?;
+    let toks: Vec<&str> = size.split_whitespace().collect();
+    if toks.len() != 4 || toks[0] != "n" || toks[2] != "capacity" {
+        return Err(err(sl, "expected `n <nodes> capacity <c>`"));
+    }
+    let n: usize = toks[1]
+        .parse()
+        .map_err(|e| err(sl, format!("bad n: {e}")))?;
+    let cap: usize = toks[3]
+        .parse()
+        .map_err(|e| err(sl, format!("bad capacity: {e}")))?;
+
+    let parse_node = |line: usize, tok: &str| -> Result<NodeId, SerialError> {
+        Ok(NodeId(
+            tok.parse()
+                .map_err(|e| err(line, format!("bad node: {e}")))?,
+        ))
+    };
+    let parse_key = |line: usize, tok: &str| -> Result<Key, SerialError> {
+        Ok(Key::from_raw(
+            u128::from_str_radix(tok, 16).map_err(|e| err(line, format!("bad key: {e}")))?,
+        ))
+    };
+
+    let mut b = ScheduleBuilder::with_capacity(n, cap);
+    let mut seen_end = false;
+    while let Some((l, line)) = next()? {
+        let line = line.trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        match toks[0].as_str() {
+            "end" => {
+                seen_end = true;
+                break;
+            }
+            "round" => {
+                let count: usize = toks
+                    .get(1)
+                    .ok_or_else(|| err(l, "round needs a count"))?
+                    .parse()
+                    .map_err(|e| err(l, format!("bad count: {e}")))?;
+                let mut transfers = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let (tl, tline) = next()?.ok_or_else(|| err(l, "truncated round"))?;
+                    let t: Vec<&str> = tline.split_whitespace().collect();
+                    if t.len() != 5 {
+                        return Err(err(tl, "transfer needs 5 fields"));
+                    }
+                    transfers.push(crate::Transfer {
+                        src: parse_node(tl, t[0])?,
+                        src_key: parse_key(tl, t[1])?,
+                        dst: parse_node(tl, t[2])?,
+                        dst_key: parse_key(tl, t[3])?,
+                        merge: match t[4] {
+                            "o" => Merge::Overwrite,
+                            "a" => Merge::Add,
+                            other => return Err(err(tl, format!("bad merge `{other}`"))),
+                        },
+                    });
+                }
+                b.round(transfers)?;
+            }
+            "compute" => {
+                let count: usize = toks
+                    .get(1)
+                    .ok_or_else(|| err(l, "compute needs a count"))?
+                    .parse()
+                    .map_err(|e| err(l, format!("bad count: {e}")))?;
+                let mut ops = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let (ol, oline) = next()?.ok_or_else(|| err(l, "truncated compute"))?;
+                    let t: Vec<&str> = oline.split_whitespace().collect();
+                    let op = match (t.first().map(|s| &**s), t.len()) {
+                        (Some("mul"), 5) => LocalOp::Mul {
+                            node: parse_node(ol, t[1])?,
+                            dst: parse_key(ol, t[2])?,
+                            lhs: parse_key(ol, t[3])?,
+                            rhs: parse_key(ol, t[4])?,
+                        },
+                        (Some("muladd"), 5) => LocalOp::MulAdd {
+                            node: parse_node(ol, t[1])?,
+                            dst: parse_key(ol, t[2])?,
+                            lhs: parse_key(ol, t[3])?,
+                            rhs: parse_key(ol, t[4])?,
+                        },
+                        (Some("sub"), 4) => LocalOp::SubAssign {
+                            node: parse_node(ol, t[1])?,
+                            dst: parse_key(ol, t[2])?,
+                            src: parse_key(ol, t[3])?,
+                        },
+                        (Some("blockmuladd"), 6) => LocalOp::BlockMulAdd {
+                            node: parse_node(ol, t[1])?,
+                            dim: t[2].parse().map_err(|e| err(ol, format!("bad dim: {e}")))?,
+                            a_ns: t[3].parse().map_err(|e| err(ol, format!("bad ns: {e}")))?,
+                            b_ns: t[4].parse().map_err(|e| err(ol, format!("bad ns: {e}")))?,
+                            c_ns: t[5].parse().map_err(|e| err(ol, format!("bad ns: {e}")))?,
+                        },
+                        (Some("add"), 4) => LocalOp::AddAssign {
+                            node: parse_node(ol, t[1])?,
+                            dst: parse_key(ol, t[2])?,
+                            src: parse_key(ol, t[3])?,
+                        },
+                        (Some("copy"), 4) => LocalOp::Copy {
+                            node: parse_node(ol, t[1])?,
+                            dst: parse_key(ol, t[2])?,
+                            src: parse_key(ol, t[3])?,
+                        },
+                        (Some("zero"), 3) => LocalOp::Zero {
+                            node: parse_node(ol, t[1])?,
+                            dst: parse_key(ol, t[2])?,
+                        },
+                        (Some("free"), 3) => LocalOp::Free {
+                            node: parse_node(ol, t[1])?,
+                            key: parse_key(ol, t[2])?,
+                        },
+                        _ => return Err(err(ol, format!("bad op `{oline}`"))),
+                    };
+                    ops.push(op);
+                }
+                b.compute(ops)?;
+            }
+            other => return Err(err(l, format!("unknown directive `{other}`"))),
+        }
+    }
+    if !seen_end {
+        return Err(err(0, "missing `end` marker (truncated file?)"));
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Nat;
+    use crate::{Machine, Transfer};
+
+    fn sample_schedule() -> Schedule {
+        let mut b = ScheduleBuilder::new(4);
+        b.compute(vec![LocalOp::Zero {
+            node: NodeId(0),
+            dst: Key::x(0, 0),
+        }])
+        .unwrap();
+        b.round(vec![
+            Transfer {
+                src: NodeId(1),
+                src_key: Key::a(1, 2),
+                dst: NodeId(0),
+                dst_key: Key::x(0, 0),
+                merge: Merge::Add,
+            },
+            Transfer {
+                src: NodeId(2),
+                src_key: Key::b(2, 3),
+                dst: NodeId(3),
+                dst_key: Key::tmp(7, 8),
+                merge: Merge::Overwrite,
+            },
+        ])
+        .unwrap();
+        b.compute(vec![LocalOp::MulAdd {
+            node: NodeId(3),
+            dst: Key::x(3, 3),
+            lhs: Key::tmp(7, 8),
+            rhs: Key::tmp(7, 8),
+        }])
+        .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_schedule() {
+        let s = sample_schedule();
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        let back = read_schedule(buf.as_slice()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn reloaded_schedule_executes_identically() {
+        let s = sample_schedule();
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        let back = read_schedule(buf.as_slice()).unwrap();
+
+        let mut run = |sched: &Schedule| {
+            let mut m: Machine<Nat> = Machine::new(4);
+            m.load(NodeId(1), Key::a(1, 2), Nat(5));
+            m.load(NodeId(2), Key::b(2, 3), Nat(6));
+            m.run(sched).unwrap();
+            (
+                m.get_or_zero(NodeId(0), Key::x(0, 0)),
+                m.get_or_zero(NodeId(3), Key::x(3, 3)),
+            )
+        };
+        assert_eq!(run(&s), run(&back));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = read_schedule("nonsense\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let s = sample_schedule();
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let truncated = &text[..text.len() - 20];
+        assert!(read_schedule(truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_constraint_violations_on_load() {
+        // A hand-written file with two sends from node 0 in one round must
+        // be rejected by the builder during parsing.
+        let text = "lowband-schedule v1\nn 3 capacity 1\nround 2\n0 1 1 2 o\n0 1 2 2 o\nend\n";
+        let e = read_schedule(text.as_bytes()).unwrap_err();
+        assert!(matches!(e, SerialError::Model(_)), "{e}");
+    }
+
+    #[test]
+    fn capacity_is_persisted() {
+        let mut b = ScheduleBuilder::with_capacity(4, 3);
+        b.round(vec![
+            Transfer {
+                src: NodeId(0),
+                src_key: Key::a(0, 0),
+                dst: NodeId(1),
+                dst_key: Key::a(0, 0),
+                merge: Merge::Overwrite,
+            },
+            Transfer {
+                src: NodeId(0),
+                src_key: Key::a(0, 0),
+                dst: NodeId(2),
+                dst_key: Key::a(0, 0),
+                merge: Merge::Overwrite,
+            },
+        ])
+        .unwrap();
+        let s = b.build();
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        let back = read_schedule(buf.as_slice()).unwrap();
+        assert_eq!(back.capacity(), 3);
+        assert_eq!(back, s);
+    }
+}

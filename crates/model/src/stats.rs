@@ -1,0 +1,152 @@
+//! Schedule introspection: load profiles and utilization.
+//!
+//! The paper's cost measure is rounds, but *why* a schedule costs what it
+//! costs is a load question: which computers are send- or receive-bound,
+//! how full the rounds are, where the broadcast trees sit. These statistics
+//! drive the bench harness's diagnostics and the `schedule_inspector`
+//! example.
+
+use crate::schedule::Step;
+use crate::Schedule;
+
+/// Aggregate statistics of one compiled schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleStats {
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Total messages.
+    pub messages: usize,
+    /// Messages in the fullest round.
+    pub max_round_messages: usize,
+    /// Mean messages per round.
+    pub mean_round_messages: f64,
+    /// `messages / (rounds · n)` — the fraction of send slots used.
+    pub utilization: f64,
+    /// Largest number of sends by any single computer.
+    pub max_node_sends: usize,
+    /// Largest number of receives by any single computer.
+    pub max_node_recvs: usize,
+    /// Free local operations.
+    pub compute_ops: usize,
+}
+
+impl Schedule {
+    /// Messages per round, in round order.
+    pub fn round_histogram(&self) -> Vec<usize> {
+        self.steps()
+            .iter()
+            .filter_map(|s| match s {
+                Step::Comm(r) => Some(r.transfers.len()),
+                Step::Compute(_) => None,
+            })
+            .collect()
+    }
+
+    /// Per-node total `(sends, receives)` across the whole schedule.
+    pub fn node_load(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut sends = vec![0usize; self.n()];
+        let mut recvs = vec![0usize; self.n()];
+        for step in self.steps() {
+            if let Step::Comm(round) = step {
+                for t in &round.transfers {
+                    sends[t.src.index()] += 1;
+                    recvs[t.dst.index()] += 1;
+                }
+            }
+        }
+        (sends, recvs)
+    }
+
+    /// Compute the aggregate statistics.
+    pub fn stats(&self) -> ScheduleStats {
+        let hist = self.round_histogram();
+        let (sends, recvs) = self.node_load();
+        let compute_ops = self
+            .steps()
+            .iter()
+            .map(|s| match s {
+                Step::Compute(ops) => ops.len(),
+                Step::Comm(_) => 0,
+            })
+            .sum();
+        let rounds = self.rounds();
+        let messages = self.messages();
+        ScheduleStats {
+            rounds,
+            messages,
+            max_round_messages: hist.iter().copied().max().unwrap_or(0),
+            mean_round_messages: if rounds == 0 {
+                0.0
+            } else {
+                messages as f64 / rounds as f64
+            },
+            utilization: if rounds == 0 || self.n() == 0 {
+                0.0
+            } else {
+                messages as f64 / (rounds * self.n()) as f64
+            },
+            max_node_sends: sends.into_iter().max().unwrap_or(0),
+            max_node_recvs: recvs.into_iter().max().unwrap_or(0),
+            compute_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Key, LocalOp, Merge, NodeId, ScheduleBuilder, Transfer};
+
+    fn xfer(src: u32, dst: u32) -> Transfer {
+        Transfer {
+            src: NodeId(src),
+            src_key: Key::tmp(0, 0),
+            dst: NodeId(dst),
+            dst_key: Key::tmp(0, 1),
+            merge: Merge::Overwrite,
+        }
+    }
+
+    #[test]
+    fn stats_of_small_schedule() {
+        let mut b = ScheduleBuilder::new(4);
+        b.round(vec![xfer(0, 1), xfer(2, 3)]).unwrap();
+        b.compute(vec![LocalOp::Zero {
+            node: NodeId(1),
+            dst: Key::x(0, 0),
+        }])
+        .unwrap();
+        b.round(vec![xfer(0, 2)]).unwrap();
+        let s = b.build();
+        let stats = s.stats();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.max_round_messages, 2);
+        assert!((stats.mean_round_messages - 1.5).abs() < 1e-12);
+        assert!((stats.utilization - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(stats.max_node_sends, 2, "node 0 sends twice");
+        assert_eq!(stats.max_node_recvs, 1);
+        assert_eq!(stats.compute_ops, 1);
+        assert_eq!(s.round_histogram(), vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_schedule_stats() {
+        let s = ScheduleBuilder::new(3).build();
+        let stats = s.stats();
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.utilization, 0.0);
+        assert_eq!(stats.mean_round_messages, 0.0);
+    }
+
+    #[test]
+    fn node_load_shape() {
+        let mut b = ScheduleBuilder::new(3);
+        b.round(vec![xfer(0, 1)]).unwrap();
+        b.round(vec![xfer(0, 2)]).unwrap();
+        let s = b.build();
+        let (sends, recvs) = s.node_load();
+        assert_eq!(sends, vec![2, 0, 0]);
+        assert_eq!(recvs, vec![0, 1, 1]);
+    }
+}

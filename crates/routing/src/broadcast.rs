@@ -1,0 +1,288 @@
+//! Doubling broadcast and halving convergecast over disjoint ranges.
+//!
+//! Lemma 3.1 spreads an input value `A_ij` from the anchor computer
+//! `q(i,j)` to the contiguous block of computers `q(i,j)+1, …, r(i,j)` that
+//! hold triples of the form `(i,j,·)`, and later aggregates partial products
+//! back along the same ranges. All ranges are pairwise disjoint, so every
+//! range's tree runs in parallel, and the total cost is the depth of the
+//! deepest tree: `⌈log₂ L⌉` rounds for the longest range `L` — the
+//! `O(log m)` term of Lemma 3.1.
+//!
+//! Both primitives use *doubling*: after round `t`, the first `2^t`
+//! computers of a range are informed (broadcast), or the partial sums have
+//! been folded into the first `⌈L/2^t⌉` computers (convergecast). Each
+//! computer sends at most one and receives at most one message per round, so
+//! the schedules always satisfy the model constraint.
+
+use lowband_model::{Key, Merge, ModelError, NodeId, Schedule, ScheduleBuilder, Transfer};
+
+/// One broadcast/convergecast task: a contiguous computer range
+/// `[start, start + len)` operating on the value stored under `key` at every
+/// range member.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RangeTask {
+    /// First computer of the range.
+    pub start: NodeId,
+    /// Number of computers in the range (must be ≥ 1).
+    pub len: u32,
+    /// Key holding the value at each computer of the range.
+    pub key: Key,
+}
+
+impl RangeTask {
+    fn end(&self) -> u32 {
+        self.start.0 + self.len
+    }
+}
+
+fn check_disjoint(n: usize, tasks: &[RangeTask]) -> Result<(), ModelError> {
+    let mut sorted: Vec<&RangeTask> = tasks.iter().collect();
+    sorted.sort_by_key(|t| t.start.0);
+    let mut prev_end = 0u32;
+    for t in sorted {
+        assert!(t.len >= 1, "range tasks must be non-empty");
+        if t.end() as usize > n {
+            return Err(ModelError::NodeOutOfRange {
+                node: NodeId(t.end() - 1),
+                n,
+            });
+        }
+        assert!(
+            t.start.0 >= prev_end,
+            "range tasks must be pairwise disjoint"
+        );
+        prev_end = t.end();
+    }
+    Ok(())
+}
+
+/// Broadcast, within each disjoint range, the value held under `task.key` at
+/// `task.start` to every other computer of the range (stored under the same
+/// key).
+///
+/// Costs `⌈log₂ max_len⌉` rounds regardless of the number of ranges.
+pub fn broadcast(n: usize, tasks: &[RangeTask]) -> Result<Schedule, ModelError> {
+    check_disjoint(n, tasks)?;
+    let max_len = tasks.iter().map(|t| t.len).max().unwrap_or(1);
+    let mut b = ScheduleBuilder::new(n);
+    let mut stride = 1u32;
+    while stride < max_len {
+        let mut transfers = Vec::new();
+        for t in tasks {
+            // Every informed computer (offset < stride) sends to offset +
+            // stride, if that offset is within the range.
+            for o in 0..stride.min(t.len.saturating_sub(stride)) {
+                transfers.push(Transfer {
+                    src: NodeId(t.start.0 + o),
+                    src_key: t.key,
+                    dst: NodeId(t.start.0 + o + stride),
+                    dst_key: t.key,
+                    merge: Merge::Overwrite,
+                });
+            }
+        }
+        b.round(transfers)?;
+        stride *= 2;
+    }
+    Ok(b.build())
+}
+
+/// Sum, within each disjoint range, the values held under `task.key` by all
+/// range members into `task.start` (semiring addition; other members keep
+/// stale partial sums, which callers treat as garbage).
+///
+/// Costs `⌈log₂ max_len⌉` rounds regardless of the number of ranges.
+pub fn convergecast(n: usize, tasks: &[RangeTask]) -> Result<Schedule, ModelError> {
+    check_disjoint(n, tasks)?;
+    let max_len = tasks.iter().map(|t| t.len).max().unwrap_or(1);
+    // Largest power of two < max_len … we fold from the top down.
+    let mut stride = 1u32;
+    while stride < max_len {
+        stride *= 2;
+    }
+    stride /= 2;
+    let mut b = ScheduleBuilder::new(n);
+    while stride >= 1 {
+        let mut transfers = Vec::new();
+        for t in tasks {
+            // Computers at offset o ∈ [stride, min(2*stride, len)) fold into
+            // o − stride.
+            if t.len > stride {
+                for o in stride..(2 * stride).min(t.len) {
+                    transfers.push(Transfer {
+                        src: NodeId(t.start.0 + o),
+                        src_key: t.key,
+                        dst: NodeId(t.start.0 + o - stride),
+                        dst_key: t.key,
+                        merge: Merge::Add,
+                    });
+                }
+            }
+        }
+        b.round(transfers)?;
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_model::algebra::Nat;
+    use lowband_model::Machine;
+
+    fn log2_ceil(x: u32) -> usize {
+        (32 - (x - 1).leading_zeros()) as usize
+    }
+
+    #[test]
+    fn single_range_broadcast_reaches_everyone() {
+        for len in [1u32, 2, 3, 5, 8, 13, 16, 100] {
+            let n = len as usize + 3;
+            let task = RangeTask {
+                start: NodeId(2),
+                len,
+                key: Key::tmp(7, 0),
+            };
+            let s = broadcast(n, &[task]).unwrap();
+            assert_eq!(s.rounds(), if len == 1 { 0 } else { log2_ceil(len) });
+            let mut m: Machine<Nat> = Machine::new(n);
+            m.load(NodeId(2), Key::tmp(7, 0), Nat(99));
+            m.run(&s).unwrap();
+            for o in 0..len {
+                assert_eq!(m.get(NodeId(2 + o), Key::tmp(7, 0)), Some(&Nat(99)));
+            }
+            // Outside the range: untouched.
+            assert_eq!(m.get(NodeId(0), Key::tmp(7, 0)), None);
+        }
+    }
+
+    #[test]
+    fn parallel_ranges_cost_max_depth() {
+        let n = 64;
+        let tasks = vec![
+            RangeTask {
+                start: NodeId(0),
+                len: 3,
+                key: Key::tmp(0, 0),
+            },
+            RangeTask {
+                start: NodeId(10),
+                len: 32,
+                key: Key::tmp(0, 1),
+            },
+            RangeTask {
+                start: NodeId(50),
+                len: 2,
+                key: Key::tmp(0, 2),
+            },
+        ];
+        let s = broadcast(n, &tasks).unwrap();
+        assert_eq!(s.rounds(), 5, "⌈log₂ 32⌉ = 5 dominates");
+        let mut m: Machine<Nat> = Machine::new(n);
+        m.load(NodeId(0), Key::tmp(0, 0), Nat(1));
+        m.load(NodeId(10), Key::tmp(0, 1), Nat(2));
+        m.load(NodeId(50), Key::tmp(0, 2), Nat(3));
+        m.run(&s).unwrap();
+        assert_eq!(m.get(NodeId(2), Key::tmp(0, 0)), Some(&Nat(1)));
+        assert_eq!(m.get(NodeId(41), Key::tmp(0, 1)), Some(&Nat(2)));
+        assert_eq!(m.get(NodeId(51), Key::tmp(0, 2)), Some(&Nat(3)));
+    }
+
+    #[test]
+    fn convergecast_sums_into_head() {
+        for len in [1u32, 2, 3, 7, 8, 9, 31, 64] {
+            let n = len as usize + 1;
+            let task = RangeTask {
+                start: NodeId(1),
+                len,
+                key: Key::tmp(1, 0),
+            };
+            let s = convergecast(n, &[task]).unwrap();
+            assert_eq!(s.rounds(), if len == 1 { 0 } else { log2_ceil(len) });
+            let mut m: Machine<Nat> = Machine::new(n);
+            for o in 0..len {
+                m.load(NodeId(1 + o), Key::tmp(1, 0), Nat(u64::from(o) + 1));
+            }
+            m.run(&s).unwrap();
+            let expect = (1..=u64::from(len)).sum::<u64>();
+            assert_eq!(m.get(NodeId(1), Key::tmp(1, 0)), Some(&Nat(expect)));
+        }
+    }
+
+    #[test]
+    fn parallel_convergecasts_are_independent() {
+        let n = 20;
+        let tasks = vec![
+            RangeTask {
+                start: NodeId(0),
+                len: 5,
+                key: Key::tmp(0, 0),
+            },
+            RangeTask {
+                start: NodeId(5),
+                len: 5,
+                key: Key::tmp(0, 0),
+            },
+        ];
+        let s = convergecast(n, &tasks).unwrap();
+        let mut m: Machine<Nat> = Machine::new(n);
+        for i in 0..10u32 {
+            m.load(NodeId(i), Key::tmp(0, 0), Nat(1));
+        }
+        m.run(&s).unwrap();
+        assert_eq!(m.get(NodeId(0), Key::tmp(0, 0)), Some(&Nat(5)));
+        assert_eq!(m.get(NodeId(5), Key::tmp(0, 0)), Some(&Nat(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_ranges_rejected() {
+        let tasks = vec![
+            RangeTask {
+                start: NodeId(0),
+                len: 5,
+                key: Key::tmp(0, 0),
+            },
+            RangeTask {
+                start: NodeId(4),
+                len: 5,
+                key: Key::tmp(0, 1),
+            },
+        ];
+        let _ = broadcast(10, &tasks);
+    }
+
+    #[test]
+    fn range_past_network_end_rejected() {
+        let tasks = vec![RangeTask {
+            start: NodeId(8),
+            len: 5,
+            key: Key::tmp(0, 0),
+        }];
+        assert!(matches!(
+            broadcast(10, &tasks),
+            Err(ModelError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn broadcast_matches_lower_bound_sandwich() {
+        // Lemma 6.13: broadcasting to n computers needs ≥ log₃ n rounds;
+        // our doubling broadcast achieves ⌈log₂ n⌉ — within the sandwich.
+        for n in [4usize, 16, 64, 256, 1024] {
+            let task = RangeTask {
+                start: NodeId(0),
+                len: n as u32,
+                key: Key::tmp(0, 0),
+            };
+            let s = broadcast(n, &[task]).unwrap();
+            let lb = ((n as f64).ln() / 3f64.ln()).ceil() as usize;
+            assert!(s.rounds() >= lb);
+            assert!(s.rounds() <= log2_ceil(n as u32));
+        }
+    }
+}

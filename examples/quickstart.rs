@@ -1,0 +1,65 @@
+//! Quickstart: compile, run and verify one distributed multiplication.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a random uniformly sparse instance, runs the three algorithms of
+//! the paper on the simulated low-bandwidth network, verifies each output
+//! against the sequential reference product, and prints the round counts.
+
+use lowband::core::densemm::DenseEngine;
+use lowband::core::{run_algorithm, Algorithm, Instance};
+use lowband::matrix::{gen, Fp};
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256; // computers = matrix dimension
+    let d = 8; // sparsity parameter
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+
+    println!("building a [US:US:US] instance with n = {n}, d = {d} …");
+    let inst = Instance::new(
+        gen::uniform_sparse(n, d, &mut rng),
+        gen::uniform_sparse(n, d, &mut rng),
+        gen::uniform_sparse(n, d, &mut rng),
+    );
+
+    let algorithms: [(&str, Algorithm); 4] = [
+        ("trivial O(d^2) baseline   ", Algorithm::Trivial),
+        ("Thm 5.3  O(d^2 + log n)   ", Algorithm::BoundedTriangles),
+        (
+            "Thm 4.2  two-phase (cube) ",
+            Algorithm::TwoPhase {
+                d,
+                engine: DenseEngine::Cube3d,
+            },
+        ),
+        (
+            "Thm 4.2  two-phase (strassen)",
+            Algorithm::TwoPhase {
+                d,
+                engine: DenseEngine::StrassenExec,
+            },
+        ),
+    ];
+
+    println!(
+        "\n{:<28} {:>8} {:>10} {:>8}",
+        "algorithm", "rounds", "messages", "ok"
+    );
+    for (name, alg) in algorithms {
+        let report = run_algorithm::<Fp>(&inst, alg, 7).expect("schedule must execute");
+        println!(
+            "{:<28} {:>8} {:>10} {:>8}",
+            name,
+            report.rounds,
+            report.messages,
+            if report.correct { "yes" } else { "NO" }
+        );
+        assert!(report.correct, "output failed verification");
+    }
+
+    println!("\nevery simulated round respected the one-send/one-receive constraint,");
+    println!("and every output matched the sequential reference product.");
+}
