@@ -1,8 +1,9 @@
-//! Criterion bench behind E7: the Theorem 5.3/5.11 general algorithms on
-//! [US:AS:GM] and [BD:AS:AS] workloads.
+//! Bench behind E7: the Theorem 5.3/5.11 general algorithms on [US:AS:GM]
+//! and [BD:AS:AS] workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowband_bench::harness::{BenchmarkId, Criterion};
 use lowband_bench::{bd_as_as_workload, us_as_gm_workload};
+use lowband_bench::{criterion_group, criterion_main};
 use lowband_core::{run_algorithm, Algorithm};
 use lowband_matrix::Fp;
 

@@ -1,8 +1,9 @@
-//! Criterion bench for Lemma 3.1 (E6): schedule compilation and execution
-//! across the κ sweep of the block workload.
+//! Bench for Lemma 3.1 (E6): schedule compilation and execution across the
+//! κ sweep of the block workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lowband_bench::block_workload;
+use lowband_bench::harness::{BenchmarkId, Criterion};
+use lowband_bench::{criterion_group, criterion_main};
 use lowband_core::lemma31::process_triangles;
 use lowband_core::TriangleSet;
 use lowband_matrix::{Fp, SparseMatrix};

@@ -1,8 +1,9 @@
-//! Criterion bench behind E8–E10: the executable lower-bound artifacts —
-//! Boolean degree computation, the routing certifier, and the dense-packing
+//! Bench behind E8–E10: the executable lower-bound artifacts — Boolean
+//! degree computation, the routing certifier, and the dense-packing
 //! reduction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowband_bench::harness::{BenchmarkId, Criterion};
+use lowband_bench::{criterion_group, criterion_main};
 use lowband_lower::gadgets::{rs_cs_gadget, us_gm_gadget};
 use lowband_lower::{dense_via_as_reduction, max_foreign_values, BooleanFunction};
 

@@ -1,8 +1,8 @@
-//! Criterion benches for the communication substrate: edge coloring,
-//! packed routing (exact vs greedy — the ablation), broadcast and
-//! convergecast.
+//! Benches for the communication substrate: edge coloring, packed routing
+//! (exact vs greedy — the ablation), broadcast and convergecast.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowband_bench::harness::{BenchmarkId, Criterion};
+use lowband_bench::{criterion_group, criterion_main};
 use lowband_model::{Key, NodeId};
 use lowband_routing::{
     broadcast, color_bipartite, convergecast, greedy_color_bipartite, route, route_greedy,

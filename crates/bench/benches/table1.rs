@@ -1,8 +1,9 @@
-//! Criterion bench behind Table 1 (E1): the three algorithms on the
-//! extremal block workload, end to end (compile + execute + verify).
+//! Bench behind Table 1 (E1): the three algorithms on the extremal block
+//! workload, end to end (compile + execute + verify).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lowband_bench::block_workload;
+use lowband_bench::harness::{BenchmarkId, Criterion};
+use lowband_bench::{criterion_group, criterion_main};
 use lowband_core::densemm::DenseEngine;
 use lowband_core::{run_algorithm, Algorithm};
 use lowband_matrix::Wrap64;

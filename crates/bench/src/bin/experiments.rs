@@ -133,7 +133,7 @@ fn e6_lemma31_scaling() {
             format!("{:.2}", rounds as f64 / kappa as f64),
         ]);
     }
-    let (e, _) = fit_exponent(&pts);
+    let (e, _) = fit_exponent(&pts).expect("κ sweep has positive rounds");
     println!("\nrounds vs κ fitted exponent: {e:.3} (theory: 1.0 — linear in κ)\n");
 
     println!("## log m sweep (single heavy pair: m triangles share one edge)\n");
@@ -212,7 +212,7 @@ fn e7_general_cases_shape() {
             format!("{:.2}", rounds as f64 / (d * d) as f64),
         ]);
     }
-    let (e, _) = fit_exponent(&pts);
+    let (e, _) = fit_exponent(&pts).expect("d sweep has positive rounds");
     println!("\nfitted exponent vs d: {e:.3} (theory: 2.0)\n");
 
     println!("## n sweep at d = 3 (additive log n term)\n");

@@ -131,7 +131,7 @@ fn main() {
             format!("{:.0}", (n as f64).powf(4.0 / 3.0)),
         ]);
     }
-    let (dense_e, _) = fit_exponent(&dense_pts);
+    let (dense_e, _) = fit_exponent(&dense_pts).expect("dense sweep has positive rounds");
     println!("\nfitted exponent: {dense_e:.3} (theory: 4/3 = 1.333)\n");
 
     // ---- Measured moderately-sparse row -------------------------------------
@@ -160,7 +160,7 @@ fn main() {
             format!("{:.0}", d_fixed as f64 * (n as f64).powf(1.0 / 3.0)),
         ]);
     }
-    let (sparse_e, _) = fit_exponent(&sparse_pts);
+    let (sparse_e, _) = fit_exponent(&sparse_pts).expect("sparse sweep has positive rounds");
     println!("\nfitted exponent in n at fixed d: {sparse_e:.3} (theory: 1/3 = 0.333)\n");
 
     // ---- Measured dense FIELD row: executable distributed Strassen -----------
@@ -188,7 +188,7 @@ fn main() {
             format!("{:.0}", (n as f64).powf(4.0 / 3.0)),
         ]);
     }
-    let (str_e, _) = fit_exponent(&str_pts);
+    let (str_e, _) = fit_exponent(&str_pts).expect("strassen sweep has positive rounds");
     println!(
         "\nfitted growth exponent: {str_e:.3} (theory 2−2/ω = 1.288; padding and the\n\
          8-phase constant inflate small sizes — the cube keeps better constants, the\n\
@@ -204,8 +204,11 @@ fn main() {
         ("two-phase, strassen exec", &strassen_pts, "λ = 1.288"),
         ("two-phase, fast-field", &fast_pts, "1.157 (dense part)"),
     ] {
-        let (e, _) = fit_exponent(pts);
-        t.row(&[name.into(), format!("{e:.3}"), bound.into()]);
+        let fitted = match fit_exponent(pts) {
+            Some((e, _)) => format!("{e:.3}"),
+            None => "n/a".into(),
+        };
+        t.row(&[name.into(), fitted, bound.into()]);
     }
     println!(
         "\nNote: on the fully clustered workload the two-phase cost is pure dense-engine\n\

@@ -9,24 +9,37 @@ use lowband_core::{Instance, TriangleSet};
 use lowband_matrix::{gen, Support};
 use rand::SeedableRng;
 
-/// Least-squares fit of `log y = e·log x + c`; returns `(e, exp(c))`.
+pub mod harness;
+
+/// Least-squares fit of `log y = e·log x + c`; returns `Some((e, exp(c)))`.
 ///
 /// The measured-exponent column of Table 1 and the §1.2 figure come from
-/// this fit over a `d` sweep.
-pub fn fit_exponent(points: &[(f64, f64)]) -> (f64, f64) {
-    assert!(points.len() >= 2, "need at least two points to fit");
+/// this fit over a `d` sweep. Degenerate points (`x ≤ 0` or `y ≤ 0`, where
+/// the logarithm is undefined) are skipped rather than clamped — clamping
+/// `y` to 1 silently flattened small-round measurements and biased the
+/// fitted exponent low. Returns `None` when fewer than two usable points
+/// remain, or when all usable points share one `x` (slope undefined).
+pub fn fit_exponent(points: &[(f64, f64)]) -> Option<(f64, f64)> {
     let logs: Vec<(f64, f64)> = points
         .iter()
-        .map(|&(x, y)| (x.ln(), y.max(1.0).ln()))
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
         .collect();
+    if logs.len() < 2 {
+        return None;
+    }
     let n = logs.len() as f64;
     let sx: f64 = logs.iter().map(|p| p.0).sum();
     let sy: f64 = logs.iter().map(|p| p.1).sum();
     let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
     let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
-    let e = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let det = n * sxx - sx * sx;
+    if det.abs() < 1e-12 {
+        return None;
+    }
+    let e = (n * sxy - sx * sy) / det;
     let c = (sy - e * sx) / n;
-    (e, c.exp())
+    Some((e, c.exp()))
 }
 
 /// The extremal `[US:US:US]` workload: block-diagonal dense `d × d`
@@ -135,9 +148,34 @@ mod tests {
             .iter()
             .map(|&d| (d, 3.0 * d.powf(1.5)))
             .collect();
-        let (e, c) = fit_exponent(&points);
+        let (e, c) = fit_exponent(&points).expect("clean points fit");
         assert!((e - 1.5).abs() < 1e-9, "exponent {e}");
         assert!((c - 3.0).abs() < 1e-6, "constant {c}");
+    }
+
+    #[test]
+    fn fit_skips_degenerate_points() {
+        // A zero-round measurement used to be clamped to y=1 and drag the
+        // slope down; now it is skipped and the clean points fit exactly.
+        let points = [
+            (2.0, 0.0),
+            (4.0, 4.0 * 4.0),
+            (8.0, 8.0 * 8.0),
+            (16.0, 16.0 * 16.0),
+        ];
+        let (e, c) = fit_exponent(&points).expect("three clean points remain");
+        assert!((e - 2.0).abs() < 1e-9, "exponent {e}");
+        assert!((c - 1.0).abs() < 1e-6, "constant {c}");
+    }
+
+    #[test]
+    fn fit_rejects_underdetermined_inputs() {
+        assert_eq!(fit_exponent(&[]), None);
+        assert_eq!(fit_exponent(&[(2.0, 8.0)]), None);
+        // Two points but only one survives the degeneracy filter.
+        assert_eq!(fit_exponent(&[(2.0, 8.0), (4.0, 0.0)]), None);
+        // All points share one x: the slope is undefined.
+        assert_eq!(fit_exponent(&[(2.0, 8.0), (2.0, 16.0)]), None);
     }
 
     #[test]

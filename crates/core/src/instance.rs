@@ -11,7 +11,9 @@
 use std::collections::HashMap;
 
 use lowband_matrix::{SparseMatrix, Support};
-use lowband_model::{Key, Machine, NodeId, Semiring};
+use lowband_model::{
+    Key, LinkedMachine, LinkedSchedule, Machine, NodeId, ParallelMachine, Semiring,
+};
 
 /// Assignment of the elements of one matrix to computers.
 #[derive(Clone, Debug)]
@@ -146,42 +148,108 @@ impl Instance {
         self.placement.x.max_load(&self.xhat, self.n)
     }
 
-    /// Load the runtime values of `A` and `B` into a fresh machine
+    /// Load the runtime values of `A` and `B` into any executor backend
     /// according to the placement.
-    pub fn load_machine<S: Semiring>(
+    pub fn load_values<S: Semiring, M: ValueStore<S>>(
         &self,
+        machine: &mut M,
         a: &SparseMatrix<S>,
         b: &SparseMatrix<S>,
-    ) -> Machine<S> {
+    ) {
         assert_eq!(a.support(), &self.ahat, "A values must match Â");
         assert_eq!(b.support(), &self.bhat, "B values must match B̂");
-        let mut m = Machine::new(self.n);
         for (i, j, v) in a.iter() {
-            m.load(
+            machine.load(
                 self.placement.a.owner(i, j),
                 Key::a(u64::from(i), u64::from(j)),
                 v.clone(),
             );
         }
         for (j, k, v) in b.iter() {
-            m.load(
+            machine.load(
                 self.placement.b.owner(j, k),
                 Key::b(u64::from(j), u64::from(k)),
                 v.clone(),
             );
         }
+    }
+
+    /// Load the runtime values of `A` and `B` into a fresh hash-map machine
+    /// according to the placement.
+    pub fn load_machine<S: Semiring>(
+        &self,
+        a: &SparseMatrix<S>,
+        b: &SparseMatrix<S>,
+    ) -> Machine<S> {
+        let mut m = Machine::new(self.n);
+        self.load_values(&mut m, a, b);
         m
     }
 
-    /// Read the computed output `X` off a machine (entries of interest that
-    /// received no contribution are zero).
-    pub fn extract_x<S: Semiring>(&self, machine: &Machine<S>) -> SparseMatrix<S> {
+    /// Load the runtime values of `A` and `B` into a fresh slot-store
+    /// machine bound to `schedule`.
+    pub fn load_linked<'s, S: Semiring>(
+        &self,
+        a: &SparseMatrix<S>,
+        b: &SparseMatrix<S>,
+        schedule: &'s LinkedSchedule,
+    ) -> LinkedMachine<'s, S> {
+        let mut m = LinkedMachine::new(schedule);
+        self.load_values(&mut m, a, b);
+        m
+    }
+
+    /// Read the computed output `X` off any executor backend (entries of
+    /// interest that received no contribution are zero).
+    pub fn extract_x_from<S: Semiring, M: ValueStore<S>>(&self, machine: &M) -> SparseMatrix<S> {
         SparseMatrix::from_fn(self.xhat.clone(), |i, k| {
             machine.get_or_zero(
                 self.placement.x.owner(i, k),
                 Key::x(u64::from(i), u64::from(k)),
             )
         })
+    }
+
+    /// Read the computed output `X` off a hash-map machine.
+    pub fn extract_x<S: Semiring>(&self, machine: &Machine<S>) -> SparseMatrix<S> {
+        self.extract_x_from(machine)
+    }
+}
+
+/// A per-node keyed value store an instance can be loaded into and read
+/// back from: all three executor backends (hash-map, sharded hash-map,
+/// linked slot-store) qualify.
+pub trait ValueStore<S: Semiring> {
+    /// Place `value` under `key` at `node`.
+    fn load(&mut self, node: NodeId, key: Key, value: S);
+    /// Read the value under `key` at `node`, or semiring zero.
+    fn get_or_zero(&self, node: NodeId, key: Key) -> S;
+}
+
+impl<S: Semiring> ValueStore<S> for Machine<S> {
+    fn load(&mut self, node: NodeId, key: Key, value: S) {
+        Machine::load(self, node, key, value);
+    }
+    fn get_or_zero(&self, node: NodeId, key: Key) -> S {
+        Machine::get_or_zero(self, node, key)
+    }
+}
+
+impl<S: Semiring> ValueStore<S> for ParallelMachine<S> {
+    fn load(&mut self, node: NodeId, key: Key, value: S) {
+        ParallelMachine::load(self, node, key, value);
+    }
+    fn get_or_zero(&self, node: NodeId, key: Key) -> S {
+        ParallelMachine::get_or_zero(self, node, key)
+    }
+}
+
+impl<S: Semiring> ValueStore<S> for LinkedMachine<'_, S> {
+    fn load(&mut self, node: NodeId, key: Key, value: S) {
+        LinkedMachine::load(self, node, key, value);
+    }
+    fn get_or_zero(&self, node: NodeId, key: Key) -> S {
+        LinkedMachine::get_or_zero(self, node, key)
     }
 }
 

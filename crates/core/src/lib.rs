@@ -40,6 +40,6 @@ pub mod strassen;
 pub mod triangles;
 
 pub use classify::{classify, Classification};
-pub use instance::{Instance, Placement};
+pub use instance::{Instance, Placement, ValueStore};
 pub use runner::{run_algorithm, Algorithm, RunReport};
 pub use triangles::{Triangle, TriangleSet};

@@ -92,9 +92,12 @@ pub fn run_algorithm<S: Semiring + SampleElement>(
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
     let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
-    let mut machine = inst.load_machine(&a, &b);
-    let stats = machine.run(&schedule)?;
-    let got = inst.extract_x(&machine);
+    // Link once (interning keys to dense slots and validating the model
+    // constraints), then execute on the hash-free slot-store backend.
+    let linked = lowband_model::link(&schedule)?;
+    let mut machine = inst.load_linked(&a, &b, &linked);
+    let stats = machine.run()?;
+    let got = inst.extract_x_from(&machine);
     let want = reference_multiply(&a, &b, &inst.xhat);
     Ok(RunReport {
         rounds: stats.rounds,

@@ -44,10 +44,16 @@ struct KeyClock {
 struct Compressor {
     n: usize,
     capacity: u32,
-    clocks: HashMap<(u32, Key), KeyClock>,
-    /// Per-round per-node send/receive counts (index round − 1).
-    send_used: Vec<HashMap<u32, u32>>,
-    recv_used: Vec<HashMap<u32, u32>>,
+    /// Per-node key interner: `(node, key)` → dense clock slot. This is the
+    /// same interning the schedule linker performs — hashing happens once
+    /// per key reference here, and every subsequent clock access is a plain
+    /// index into the flat `clocks` vector.
+    slot_ids: Vec<HashMap<Key, u32>>,
+    /// Flat clock storage, indexed by the interned slot id.
+    clocks: Vec<KeyClock>,
+    /// Per-round send/receive counts, flat-indexed by node (index round − 1).
+    send_used: Vec<Vec<u32>>,
+    recv_used: Vec<Vec<u32>>,
     /// The new rounds and compute slots being assembled.
     rounds: Vec<Vec<crate::Transfer>>,
     slots: Vec<Vec<LocalOp>>, // slot s runs after round s (slot 0 first)
@@ -58,7 +64,8 @@ impl Compressor {
         Compressor {
             n,
             capacity,
-            clocks: HashMap::new(),
+            slot_ids: vec![HashMap::new(); n],
+            clocks: Vec::new(),
             send_used: Vec::new(),
             recv_used: Vec::new(),
             rounds: Vec::new(),
@@ -66,15 +73,23 @@ impl Compressor {
         }
     }
 
-    fn clock(&mut self, node: NodeId, key: Key) -> &mut KeyClock {
-        self.clocks.entry((node.0, key)).or_default()
+    /// Intern `(node, key)` into its dense clock slot (allocating a fresh
+    /// zeroed clock on first sight). The single hash lookup per event lives
+    /// here.
+    fn slot(&mut self, node: NodeId, key: Key) -> usize {
+        let clocks = &mut self.clocks;
+        *self.slot_ids[node.index()].entry(key).or_insert_with(|| {
+            let id = clocks.len() as u32;
+            clocks.push(KeyClock::default());
+            id
+        }) as usize
     }
 
     fn ensure_round(&mut self, r: usize) {
         while self.rounds.len() < r {
             self.rounds.push(Vec::new());
-            self.send_used.push(HashMap::new());
-            self.recv_used.push(HashMap::new());
+            self.send_used.push(vec![0; self.n]);
+            self.recv_used.push(vec![0; self.n]);
         }
         while self.slots.len() <= self.rounds.len() {
             self.slots.push(Vec::new());
@@ -85,21 +100,22 @@ impl Compressor {
         if r > self.rounds.len() {
             return true; // fresh round
         }
-        let s = self.send_used[r - 1].get(&src.0).copied().unwrap_or(0);
-        let d = self.recv_used[r - 1].get(&dst.0).copied().unwrap_or(0);
-        s < self.capacity && d < self.capacity
+        self.send_used[r - 1][src.index()] < self.capacity
+            && self.recv_used[r - 1][dst.index()] < self.capacity
     }
 
     fn place_transfer(&mut self, t: crate::Transfer) {
+        let src_id = self.slot(t.src, t.src_key);
+        let dst_id = self.slot(t.dst, t.dst_key);
         // Flow: source value fully written before the round fires.
-        let src_written = self.clock(t.src, t.src_key).write;
+        let src_written = self.clocks[src_id].write;
         // earliest round from src availability: 2r > src_written, i.e.
         // r ≥ floor(src_written / 2) + 1.
         let mut r = (src_written / 2 + 1).max(1) as usize;
         // Anti dependency: a write may not overtake a read of the old value
         // (ties are fine — within a round all reads precede all writes):
         // 2r ≥ last read.
-        let dst_clock = *self.clock(t.dst, t.dst_key);
+        let dst_clock = self.clocks[dst_id];
         r = r.max(dst_clock.read.div_ceil(2).max(1) as usize);
         // Output dependency: strictly after any earlier write to the same
         // key (two same-round writes have no defined order once capacity
@@ -109,16 +125,98 @@ impl Compressor {
             r += 1;
         }
         self.ensure_round(r);
-        *self.send_used[r - 1].entry(t.src.0).or_insert(0) += 1;
-        *self.recv_used[r - 1].entry(t.dst.0).or_insert(0) += 1;
+        self.send_used[r - 1][t.src.index()] += 1;
+        self.recv_used[r - 1][t.dst.index()] += 1;
         self.rounds[r - 1].push(t);
         let time = 2 * r as u64;
-        self.clock(t.src, t.src_key).read = self.clock(t.src, t.src_key).read.max(time);
-        let dc = self.clock(t.dst, t.dst_key);
+        let sc = &mut self.clocks[src_id];
+        sc.read = sc.read.max(time);
+        let dc = &mut self.clocks[dst_id];
         dc.write = dc.write.max(time);
         if t.merge == Merge::Add {
             // An Add also "reads" the accumulator.
             dc.read = dc.read.max(time);
+        }
+    }
+
+    /// Place one original communication round.
+    ///
+    /// Within a round the machine reads **all** payloads before delivering
+    /// any, so a transfer may read a key that another transfer of the same
+    /// round overwrites — it sees the *old* value regardless of list order.
+    /// Per-transfer list scheduling would serialize such a pair and flip the
+    /// read to the new value. When a round contains such a hazard (some
+    /// `(node, key)` is both a source and a destination within the round) we
+    /// therefore place the whole round atomically in one new round, which
+    /// reproduces the read-barrier semantics exactly. Hazard-free rounds
+    /// (the overwhelmingly common case for compiled phases) still pipeline
+    /// transfer by transfer.
+    fn place_round(&mut self, transfers: &[crate::Transfer]) {
+        let written: std::collections::HashSet<(u32, Key)> =
+            transfers.iter().map(|t| (t.dst.0, t.dst_key)).collect();
+        let hazard = transfers
+            .iter()
+            .any(|t| written.contains(&(t.src.0, t.src_key)));
+        if !hazard {
+            for t in transfers {
+                self.place_transfer(*t);
+            }
+            return;
+        }
+
+        // Atomic placement: earliest round satisfying every transfer's flow,
+        // anti and output dependencies...
+        let mut r = 1usize;
+        for t in transfers {
+            let src_id = self.slot(t.src, t.src_key);
+            let dst_id = self.slot(t.dst, t.dst_key);
+            let src_written = self.clocks[src_id].write;
+            r = r.max((src_written / 2 + 1).max(1) as usize);
+            let dst_clock = self.clocks[dst_id];
+            r = r.max(dst_clock.read.div_ceil(2).max(1) as usize);
+            r = r.max((dst_clock.write / 2 + 1) as usize);
+        }
+        // ...and with simultaneous send/receive capacity for all of them.
+        // A fresh round always fits (the original round was valid), so this
+        // terminates.
+        'search: loop {
+            if r <= self.rounds.len() {
+                let mut send = vec![0u32; self.n];
+                let mut recv = vec![0u32; self.n];
+                for t in transfers {
+                    send[t.src.index()] += 1;
+                    recv[t.dst.index()] += 1;
+                }
+                for v in 0..self.n {
+                    if self.send_used[r - 1][v] + send[v] > self.capacity
+                        || self.recv_used[r - 1][v] + recv[v] > self.capacity
+                    {
+                        r += 1;
+                        continue 'search;
+                    }
+                }
+            }
+            break;
+        }
+        self.ensure_round(r);
+        let time = 2 * r as u64;
+        for t in transfers {
+            self.send_used[r - 1][t.src.index()] += 1;
+            self.recv_used[r - 1][t.dst.index()] += 1;
+            self.rounds[r - 1].push(*t);
+        }
+        // Clock updates after all placements: reads and writes of the round
+        // share the same time point, exactly like the machine's semantics.
+        for t in transfers {
+            let src_id = self.slot(t.src, t.src_key);
+            let sc = &mut self.clocks[src_id];
+            sc.read = sc.read.max(time);
+            let dst_id = self.slot(t.dst, t.dst_key);
+            let dc = &mut self.clocks[dst_id];
+            dc.write = dc.write.max(time);
+            if t.merge == Merge::Add {
+                dc.read = dc.read.max(time);
+            }
         }
     }
 
@@ -151,14 +249,18 @@ impl Compressor {
             LocalOp::Zero { dst, .. } => (vec![], vec![dst]),
             LocalOp::Free { key, .. } => (vec![], vec![key]),
         };
+        // Intern each referenced key once; the clock passes below are plain
+        // indexed loads/stores on the flat clock vector.
+        let read_ids: Vec<usize> = reads.iter().map(|&k| self.slot(node, k)).collect();
+        let write_ids: Vec<usize> = writes.iter().map(|&k| self.slot(node, k)).collect();
         // Slot s acts at time 2s + 1; needs inputs written at ≤ 2s + 1 and
         // write deps ≤ 2s + 1.
         let mut need: u64 = 0;
-        for &k in &reads {
-            need = need.max(self.clock(node, k).write);
+        for &id in &read_ids {
+            need = need.max(self.clocks[id].write);
         }
-        for &k in &writes {
-            let c = *self.clock(node, k);
+        for &id in &write_ids {
+            let c = self.clocks[id];
             need = need.max(c.read).max(c.write);
         }
         // smallest s with 2s + 1 ≥ need.
@@ -168,12 +270,12 @@ impl Compressor {
         }
         self.slots[s].push(op);
         let time = 2 * s as u64 + 1;
-        for &k in &reads {
-            let c = self.clock(node, k);
+        for &id in &read_ids {
+            let c = &mut self.clocks[id];
             c.read = c.read.max(time);
         }
-        for &k in &writes {
-            let c = self.clock(node, k);
+        for &id in &write_ids {
+            let c = &mut self.clocks[id];
             c.write = c.write.max(time);
         }
     }
@@ -210,9 +312,7 @@ pub fn compress(schedule: &Schedule) -> Schedule {
     for step in schedule.steps() {
         match step {
             Step::Comm(Round { transfers }) => {
-                for t in transfers {
-                    c.place_transfer(*t);
-                }
+                c.place_round(transfers);
             }
             Step::Compute(ops) => {
                 for op in ops {
@@ -412,6 +512,47 @@ mod tests {
         let c = compress(&s);
         assert_eq!(c.capacity(), 2);
         assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn same_round_read_of_overwritten_key_sees_old_value() {
+        // One round does two things at once: node 0 overwrites K at node 1,
+        // while node 1 forwards its OLD value of K to node 2 (within a
+        // round, all reads precede all writes). Naive per-transfer
+        // pipelining serializes the pair and forwards the new value; the
+        // atomic-round fallback must keep the barrier semantics.
+        let mut b = ScheduleBuilder::new(3);
+        b.round(vec![
+            t(0, Key::a(0, 0), 1, Key::tmp(0, 0), Merge::Overwrite),
+            t(1, Key::tmp(0, 0), 2, Key::tmp(0, 1), Merge::Overwrite),
+        ])
+        .unwrap();
+        let s = b.build();
+        equivalent(
+            3,
+            &[(0, Key::a(0, 0), 9), (1, Key::tmp(0, 0), 5)],
+            &s,
+            &[(1, Key::tmp(0, 0)), (2, Key::tmp(0, 1))],
+        );
+    }
+
+    #[test]
+    fn swap_round_stays_simultaneous() {
+        // Two nodes exchange values in one round — a cyclic hazard that can
+        // only execute with simultaneous delivery.
+        let mut b = ScheduleBuilder::new(2);
+        b.round(vec![
+            t(0, Key::tmp(0, 0), 1, Key::tmp(0, 0), Merge::Overwrite),
+            t(1, Key::tmp(0, 0), 0, Key::tmp(0, 0), Merge::Overwrite),
+        ])
+        .unwrap();
+        let s = b.build();
+        equivalent(
+            2,
+            &[(0, Key::tmp(0, 0), 1), (1, Key::tmp(0, 0), 2)],
+            &s,
+            &[(0, Key::tmp(0, 0)), (1, Key::tmp(0, 0))],
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod algebra;
 pub mod compress;
 pub mod error;
 pub mod key;
+pub mod link;
 pub mod machine;
 pub mod parallel;
 pub mod schedule;
@@ -65,6 +66,7 @@ pub use algebra::Semiring;
 pub use compress::compress;
 pub use error::ModelError;
 pub use key::Key;
+pub use link::{link, LinkedMachine, LinkedSchedule};
 pub use machine::{ExecutionStats, Machine};
 pub use parallel::ParallelMachine;
 pub use schedule::{LocalOp, Merge, Round, Schedule, ScheduleBuilder, Step, Transfer};

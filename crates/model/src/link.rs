@@ -1,0 +1,1074 @@
+//! Schedule linking: key interning + flat slot stores for hash-free
+//! execution.
+//!
+//! The reference executors ([`crate::Machine`], [`crate::ParallelMachine`])
+//! address every value through a per-node `HashMap<Key, V>`, so every
+//! transfer and local op pays several hash probes on 16-byte keys. But in
+//! the supported model the *entire* set of keys a schedule will ever touch
+//! is known before any value exists — schedules are compiled from structure
+//! alone. [`link`] exploits that: it walks a [`Schedule`] once, interns each
+//! node's distinct keys into dense slot ids (`u32`), and rewrites every
+//! transfer and local op into slot-addressed form. The resulting
+//! [`LinkedSchedule`] executes on [`LinkedMachine`], whose per-node store is
+//! a flat `Vec<Option<V>>` indexed by slot — **zero hashing per event**.
+//!
+//! Linking also *validates* once what the reference executors re-check every
+//! round (node ranges and the ≤ `capacity` send/receive constraint), so a
+//! `LinkedSchedule` is a certificate that the program fits the model, and
+//! the runtime loop carries no per-round validation at all.
+//!
+//! Within each round the linked transfers are stable-sorted by destination
+//! node. This groups deliveries by destination shard for the parallel
+//! executor (each worker's deliveries form one contiguous slice) while
+//! preserving the relative order of deliveries to the *same* destination —
+//! which, combined with the same read-all-then-write-all round semantics as
+//! the reference executor, makes the final stores bit-identical between the
+//! hash-map and slot-store backends (asserted by tests and by the
+//! cross-executor equivalence suite).
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::time::Instant;
+
+use crate::parallel::shard_bounds;
+use crate::schedule::{LocalOp, Merge, Round, Step};
+use crate::{ExecutionStats, Key, ModelError, NodeId, Schedule, Semiring};
+
+/// One message in slot-addressed form:
+/// `dst.slots[dst_slot] ← merge(dst.slots[dst_slot], src.slots[src_slot])`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkedTransfer {
+    /// Sending node.
+    pub src: u32,
+    /// Slot read at the sender.
+    pub src_slot: u32,
+    /// Receiving node.
+    pub dst: u32,
+    /// Slot written at the receiver.
+    pub dst_slot: u32,
+    /// Combination rule at the receiver.
+    pub merge: Merge,
+}
+
+/// A [`LocalOp`] rewritten onto slot ids. `BlockMulAdd` references a
+/// side-table entry holding the pre-interned slot vectors of its three
+/// blocks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkedOp {
+    /// `dst ← lhs · rhs`.
+    Mul {
+        /// Node performing the op.
+        node: u32,
+        /// Slot written.
+        dst: u32,
+        /// Left factor slot.
+        lhs: u32,
+        /// Right factor slot.
+        rhs: u32,
+    },
+    /// `dst ← dst + src`.
+    AddAssign {
+        /// Node performing the op.
+        node: u32,
+        /// Accumulator slot.
+        dst: u32,
+        /// Added slot.
+        src: u32,
+    },
+    /// `dst ← dst + lhs · rhs`.
+    MulAdd {
+        /// Node performing the op.
+        node: u32,
+        /// Accumulator slot.
+        dst: u32,
+        /// Left factor slot.
+        lhs: u32,
+        /// Right factor slot.
+        rhs: u32,
+    },
+    /// `dst ← dst − src` (rings only).
+    SubAssign {
+        /// Node performing the op.
+        node: u32,
+        /// Accumulator slot.
+        dst: u32,
+        /// Subtracted slot.
+        src: u32,
+    },
+    /// Dense block multiply-accumulate over pre-interned slot vectors.
+    BlockMulAdd {
+        /// Node performing the op.
+        node: u32,
+        /// Index into [`LinkedSchedule`]'s block side-table.
+        block: u32,
+    },
+    /// `dst ← src`.
+    Copy {
+        /// Node performing the op.
+        node: u32,
+        /// Slot written.
+        dst: u32,
+        /// Slot read.
+        src: u32,
+    },
+    /// `dst ← 0`.
+    Zero {
+        /// Node performing the op.
+        node: u32,
+        /// Slot written.
+        dst: u32,
+    },
+    /// Empty the slot.
+    Free {
+        /// Node performing the op.
+        node: u32,
+        /// Slot emptied.
+        slot: u32,
+    },
+}
+
+impl LinkedOp {
+    fn node(&self) -> u32 {
+        match *self {
+            LinkedOp::Mul { node, .. }
+            | LinkedOp::AddAssign { node, .. }
+            | LinkedOp::MulAdd { node, .. }
+            | LinkedOp::SubAssign { node, .. }
+            | LinkedOp::BlockMulAdd { node, .. }
+            | LinkedOp::Copy { node, .. }
+            | LinkedOp::Zero { node, .. }
+            | LinkedOp::Free { node, .. } => node,
+        }
+    }
+}
+
+/// Pre-interned slot vectors of one `BlockMulAdd`'s `A`/`B`/`C` blocks, in
+/// row-major `r·dim + c` order.
+#[derive(Clone, Debug)]
+struct BlockSlots {
+    dim: u32,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    c: Vec<u32>,
+}
+
+/// One step of a linked schedule; ranges index the flat transfer/op arrays.
+/// `step` is the step index in the *source* schedule, so runtime errors
+/// point at the same step as the reference executor's.
+#[derive(Clone, Debug)]
+enum LinkedStep {
+    Comm {
+        transfers: Range<usize>,
+        step: usize,
+    },
+    Compute {
+        ops: Range<usize>,
+        step: usize,
+    },
+}
+
+/// A [`Schedule`] after linking: keys interned to dense per-node slots,
+/// events in flat slot-addressed arrays, model constraints validated.
+#[derive(Clone, Debug)]
+pub struct LinkedSchedule {
+    n: usize,
+    capacity: usize,
+    rounds: usize,
+    messages: usize,
+    /// Per node: the interned keys; a key's slot id is its index here.
+    node_keys: Vec<Vec<Key>>,
+    /// Per node: key → slot. Used at link/load/extract time only — never on
+    /// the execution hot path.
+    node_slots: Vec<HashMap<Key, u32>>,
+    steps: Vec<LinkedStep>,
+    transfers: Vec<LinkedTransfer>,
+    ops: Vec<LinkedOp>,
+    blocks: Vec<BlockSlots>,
+}
+
+fn intern(keys: &mut Vec<Key>, slots: &mut HashMap<Key, u32>, key: Key) -> u32 {
+    *slots.entry(key).or_insert_with(|| {
+        let slot = keys.len() as u32;
+        keys.push(key);
+        slot
+    })
+}
+
+impl LinkedSchedule {
+    /// Link a schedule: one pass of interning, rewriting and validation.
+    /// Fails with the same errors the [`crate::ScheduleBuilder`] would raise
+    /// if the schedule violates node ranges or the bandwidth constraint
+    /// (relevant for schedules built by other means, e.g. deserialized).
+    pub fn link(schedule: &Schedule) -> Result<LinkedSchedule, ModelError> {
+        let n = schedule.n();
+        let cap = schedule.capacity() as u32;
+        let mut ls = LinkedSchedule {
+            n,
+            capacity: schedule.capacity(),
+            rounds: 0,
+            messages: 0,
+            node_keys: vec![Vec::new(); n],
+            node_slots: vec![HashMap::new(); n],
+            steps: Vec::with_capacity(schedule.steps().len()),
+            transfers: Vec::with_capacity(schedule.messages()),
+            ops: Vec::new(),
+            blocks: Vec::new(),
+        };
+        let mut send_stamp = vec![0u32; n];
+        let mut recv_stamp = vec![0u32; n];
+        let mut send_count = vec![0u32; n];
+        let mut recv_count = vec![0u32; n];
+        let mut stamp = 0u32;
+
+        let check_node = |node: NodeId| -> Result<usize, ModelError> {
+            let i = node.index();
+            if i >= n {
+                return Err(ModelError::NodeOutOfRange { node, n });
+            }
+            Ok(i)
+        };
+
+        for (step_idx, step) in schedule.steps().iter().enumerate() {
+            match step {
+                Step::Comm(Round { transfers }) => {
+                    stamp += 1;
+                    let start = ls.transfers.len();
+                    for t in transfers {
+                        let si = check_node(t.src)?;
+                        let di = check_node(t.dst)?;
+                        if send_stamp[si] != stamp {
+                            send_stamp[si] = stamp;
+                            send_count[si] = 0;
+                        }
+                        send_count[si] += 1;
+                        if send_count[si] > cap {
+                            return Err(ModelError::SendConflict {
+                                round: ls.rounds,
+                                node: t.src,
+                            });
+                        }
+                        if recv_stamp[di] != stamp {
+                            recv_stamp[di] = stamp;
+                            recv_count[di] = 0;
+                        }
+                        recv_count[di] += 1;
+                        if recv_count[di] > cap {
+                            return Err(ModelError::ReceiveConflict {
+                                round: ls.rounds,
+                                node: t.dst,
+                            });
+                        }
+                        let src_slot =
+                            intern(&mut ls.node_keys[si], &mut ls.node_slots[si], t.src_key);
+                        let dst_slot =
+                            intern(&mut ls.node_keys[di], &mut ls.node_slots[di], t.dst_key);
+                        ls.transfers.push(LinkedTransfer {
+                            src: si as u32,
+                            src_slot,
+                            dst: di as u32,
+                            dst_slot,
+                            merge: t.merge,
+                        });
+                    }
+                    // Stable sort groups deliveries by destination (and thus
+                    // by shard) while keeping same-destination deliveries in
+                    // program order — required for bit-identical stores.
+                    ls.transfers[start..].sort_by_key(|t| t.dst);
+                    ls.rounds += 1;
+                    ls.messages += transfers.len();
+                    ls.steps.push(LinkedStep::Comm {
+                        transfers: start..ls.transfers.len(),
+                        step: step_idx,
+                    });
+                }
+                Step::Compute(ops) => {
+                    let start = ls.ops.len();
+                    for op in ops {
+                        let ni = check_node(op.node())?;
+                        let keys = &mut ls.node_keys[ni];
+                        let slots = &mut ls.node_slots[ni];
+                        let linked = match *op {
+                            LocalOp::Mul { dst, lhs, rhs, .. } => LinkedOp::Mul {
+                                node: ni as u32,
+                                dst: intern(keys, slots, dst),
+                                lhs: intern(keys, slots, lhs),
+                                rhs: intern(keys, slots, rhs),
+                            },
+                            LocalOp::AddAssign { dst, src, .. } => LinkedOp::AddAssign {
+                                node: ni as u32,
+                                dst: intern(keys, slots, dst),
+                                src: intern(keys, slots, src),
+                            },
+                            LocalOp::MulAdd { dst, lhs, rhs, .. } => LinkedOp::MulAdd {
+                                node: ni as u32,
+                                dst: intern(keys, slots, dst),
+                                lhs: intern(keys, slots, lhs),
+                                rhs: intern(keys, slots, rhs),
+                            },
+                            LocalOp::SubAssign { dst, src, .. } => LinkedOp::SubAssign {
+                                node: ni as u32,
+                                dst: intern(keys, slots, dst),
+                                src: intern(keys, slots, src),
+                            },
+                            LocalOp::BlockMulAdd {
+                                dim,
+                                a_ns,
+                                b_ns,
+                                c_ns,
+                                ..
+                            } => {
+                                let cells = (dim as u64) * (dim as u64);
+                                let mut grab = |ns: u64| -> Vec<u32> {
+                                    (0..cells)
+                                        .map(|idx| intern(keys, slots, Key::tmp(ns, idx)))
+                                        .collect()
+                                };
+                                let block = BlockSlots {
+                                    dim,
+                                    a: grab(a_ns),
+                                    b: grab(b_ns),
+                                    c: grab(c_ns),
+                                };
+                                ls.blocks.push(block);
+                                LinkedOp::BlockMulAdd {
+                                    node: ni as u32,
+                                    block: (ls.blocks.len() - 1) as u32,
+                                }
+                            }
+                            LocalOp::Copy { dst, src, .. } => LinkedOp::Copy {
+                                node: ni as u32,
+                                dst: intern(keys, slots, dst),
+                                src: intern(keys, slots, src),
+                            },
+                            LocalOp::Zero { dst, .. } => LinkedOp::Zero {
+                                node: ni as u32,
+                                dst: intern(keys, slots, dst),
+                            },
+                            LocalOp::Free { key, .. } => LinkedOp::Free {
+                                node: ni as u32,
+                                slot: intern(keys, slots, key),
+                            },
+                        };
+                        ls.ops.push(linked);
+                    }
+                    // Stable sort by node: ops on distinct nodes touch
+                    // disjoint stores and commute; per-node program order is
+                    // preserved. Gives the parallel executor contiguous
+                    // per-shard slices.
+                    ls.ops[start..].sort_by_key(|op| op.node());
+                    ls.steps.push(LinkedStep::Compute {
+                        ops: start..ls.ops.len(),
+                        step: step_idx,
+                    });
+                }
+            }
+        }
+        Ok(ls)
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Per-round send/receive capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Communication rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total messages.
+    pub fn messages(&self) -> usize {
+        self.messages
+    }
+
+    /// Number of interned slots at `node`.
+    pub fn slots_at(&self, node: NodeId) -> usize {
+        self.node_keys[node.index()].len()
+    }
+
+    /// Total interned slots across all nodes.
+    pub fn total_slots(&self) -> usize {
+        self.node_keys.iter().map(Vec::len).sum()
+    }
+
+    /// The slot id of `key` at `node`, if the schedule mentions it.
+    pub fn slot_of(&self, node: NodeId, key: Key) -> Option<u32> {
+        self.node_slots[node.index()].get(&key).copied()
+    }
+
+    /// The key interned at `slot` of `node`.
+    pub fn key_of(&self, node: NodeId, slot: u32) -> Key {
+        self.node_keys[node.index()][slot as usize]
+    }
+
+    fn missing(&self, node: u32, slot: u32, step: usize) -> ModelError {
+        ModelError::MissingValue {
+            node: NodeId(node),
+            key: self.node_keys[node as usize][slot as usize],
+            step,
+        }
+    }
+}
+
+/// Convenience free-function form of [`LinkedSchedule::link`].
+pub fn link(schedule: &Schedule) -> Result<LinkedSchedule, ModelError> {
+    LinkedSchedule::link(schedule)
+}
+
+/// Slot-store executor for a [`LinkedSchedule`].
+///
+/// Each node's store is a flat `Vec<Option<V>>` indexed by slot id; `None`
+/// means "key absent", exactly like a missing hash-map entry in
+/// [`crate::Machine`]. Values loaded under keys the schedule never mentions
+/// land in a per-node side map (they can't affect execution, but
+/// [`LinkedMachine::snapshot`] must report them for bit-identical stores).
+#[derive(Clone, Debug)]
+pub struct LinkedMachine<'s, V: Semiring> {
+    schedule: &'s LinkedSchedule,
+    slots: Vec<Vec<Option<V>>>,
+    extra: Vec<HashMap<Key, V>>,
+}
+
+impl<'s, V: Semiring> LinkedMachine<'s, V> {
+    /// Create an empty machine sized for `schedule`.
+    pub fn new(schedule: &'s LinkedSchedule) -> LinkedMachine<'s, V> {
+        LinkedMachine {
+            schedule,
+            slots: schedule
+                .node_keys
+                .iter()
+                .map(|keys| vec![None; keys.len()])
+                .collect(),
+            extra: vec![HashMap::new(); schedule.n],
+        }
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.schedule.n
+    }
+
+    /// The schedule this machine is linked against.
+    pub fn schedule(&self) -> &'s LinkedSchedule {
+        self.schedule
+    }
+
+    /// Place `value` under `key` at `node` (input loading).
+    pub fn load(&mut self, node: NodeId, key: Key, value: V) {
+        match self.schedule.node_slots[node.index()].get(&key) {
+            Some(&slot) => self.slots[node.index()][slot as usize] = Some(value),
+            None => {
+                self.extra[node.index()].insert(key, value);
+            }
+        }
+    }
+
+    /// Read the value under `key` at `node`, if present.
+    pub fn get(&self, node: NodeId, key: Key) -> Option<&V> {
+        match self.schedule.node_slots[node.index()].get(&key) {
+            Some(&slot) => self.slots[node.index()][slot as usize].as_ref(),
+            None => self.extra[node.index()].get(&key),
+        }
+    }
+
+    /// Read the value under `key` at `node`, or semiring zero if absent.
+    pub fn get_or_zero(&self, node: NodeId, key: Key) -> V {
+        self.get(node, key).cloned().unwrap_or_else(V::zero)
+    }
+
+    /// The full key–value store at `node` as a hash map — directly
+    /// comparable against [`crate::Machine::snapshot`].
+    pub fn snapshot(&self, node: NodeId) -> HashMap<Key, V> {
+        let i = node.index();
+        let mut map = self.extra[i].clone();
+        for (slot, value) in self.slots[i].iter().enumerate() {
+            if let Some(v) = value {
+                map.insert(self.schedule.node_keys[i][slot], v.clone());
+            }
+        }
+        map
+    }
+
+    /// Execute the linked schedule sequentially. The store mutations are
+    /// bit-identical to [`crate::Machine::run`] on the source schedule; no
+    /// hashing or constraint checking happens per event.
+    pub fn run(&mut self) -> Result<ExecutionStats, ModelError> {
+        let schedule = self.schedule;
+        let start = Instant::now();
+        let mut stats = ExecutionStats::default();
+        let mut inbox: Vec<V> = Vec::new();
+        for step in &schedule.steps {
+            match step {
+                LinkedStep::Comm { transfers, step } => {
+                    let ts = &schedule.transfers[transfers.clone()];
+                    // Read phase: gather all payloads before any delivery,
+                    // so that delivery within a round is simultaneous.
+                    inbox.clear();
+                    inbox.reserve(ts.len());
+                    for t in ts {
+                        let v = self.slots[t.src as usize][t.src_slot as usize]
+                            .clone()
+                            .ok_or_else(|| schedule.missing(t.src, t.src_slot, *step))?;
+                        inbox.push(v);
+                    }
+                    // Write phase: deliver.
+                    for (t, payload) in ts.iter().zip(inbox.drain(..)) {
+                        deliver(
+                            &mut self.slots[t.dst as usize][t.dst_slot as usize],
+                            t.merge,
+                            payload,
+                        );
+                    }
+                    stats.rounds += 1;
+                    stats.messages += ts.len();
+                    stats.busiest_round = stats.busiest_round.max(ts.len());
+                }
+                LinkedStep::Compute { ops, step } => {
+                    for op in &schedule.ops[ops.clone()] {
+                        let store = &mut self.slots[op.node() as usize];
+                        apply_linked_op(store, op, schedule, *step)?;
+                        stats.local_ops += 1;
+                    }
+                }
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Ok(stats)
+    }
+
+    /// Execute the linked schedule across worker threads; `threads = 0`
+    /// selects the available parallelism. Final stores are identical to
+    /// [`LinkedMachine::run`].
+    ///
+    /// Because each round's transfers are pre-sorted by destination, every
+    /// worker's deliveries form one contiguous slice — no per-round
+    /// re-sharding allocation as in [`crate::ParallelMachine`].
+    pub fn run_parallel(&mut self, threads: usize) -> Result<ExecutionStats, ModelError> {
+        let schedule = self.schedule;
+        let n = schedule.n;
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .clamp(1, n.max(1));
+        let bounds = shard_bounds(n, threads);
+        let start = Instant::now();
+        let mut stats = ExecutionStats::default();
+
+        for step in &schedule.steps {
+            match step {
+                LinkedStep::Comm { transfers, step } => {
+                    let ts = &schedule.transfers[transfers.clone()];
+                    // Read phase (parallel, immutable stores).
+                    let slots = &self.slots;
+                    let chunk = ts.len().div_ceil(threads).max(1);
+                    let payloads: Vec<Result<V, ModelError>> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = ts
+                            .chunks(chunk)
+                            .map(|part| {
+                                scope.spawn(move || {
+                                    part.iter()
+                                        .map(|t| {
+                                            slots[t.src as usize][t.src_slot as usize]
+                                                .clone()
+                                                .ok_or_else(|| {
+                                                    schedule.missing(t.src, t.src_slot, *step)
+                                                })
+                                        })
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("reader panicked"))
+                            .collect()
+                    });
+                    // Write phase: ts is sorted by dst, so each shard's
+                    // deliveries are one contiguous slice.
+                    let mut first_err = None;
+                    let mut values = Vec::with_capacity(payloads.len());
+                    for p in payloads {
+                        match p {
+                            Ok(v) => values.push(v),
+                            Err(e) => {
+                                first_err.get_or_insert(e);
+                                values.push(V::zero());
+                            }
+                        }
+                    }
+                    if let Some(e) = first_err {
+                        return Err(e);
+                    }
+                    std::thread::scope(|scope| {
+                        let mut rest: &mut [Vec<Option<V>>] = &mut self.slots;
+                        let mut ts_rest = ts;
+                        let mut vals_rest: &mut [V] = &mut values;
+                        for s in 0..threads {
+                            let take = bounds[s + 1] - bounds[s];
+                            let (block, tail) = rest.split_at_mut(take);
+                            rest = tail;
+                            let split =
+                                ts_rest.partition_point(|t| (t.dst as usize) < bounds[s + 1]);
+                            let (ts_here, ts_tail) = ts_rest.split_at(split);
+                            ts_rest = ts_tail;
+                            let (vals_here, vals_tail) =
+                                std::mem::take(&mut vals_rest).split_at_mut(split);
+                            vals_rest = vals_tail;
+                            let base = bounds[s];
+                            scope.spawn(move || {
+                                for (t, v) in ts_here.iter().zip(vals_here) {
+                                    deliver(
+                                        &mut block[t.dst as usize - base][t.dst_slot as usize],
+                                        t.merge,
+                                        std::mem::replace(v, V::zero()),
+                                    );
+                                }
+                            });
+                        }
+                    });
+                    stats.rounds += 1;
+                    stats.messages += ts.len();
+                    stats.busiest_round = stats.busiest_round.max(ts.len());
+                }
+                LinkedStep::Compute { ops, step } => {
+                    let ops_all = &schedule.ops[ops.clone()];
+                    // ops are sorted by node: shard into contiguous slices.
+                    let results: Vec<Result<(), ModelError>> = std::thread::scope(|scope| {
+                        let mut handles = Vec::with_capacity(threads);
+                        let mut rest: &mut [Vec<Option<V>>] = &mut self.slots;
+                        let mut ops_rest = ops_all;
+                        for s in 0..threads {
+                            let take = bounds[s + 1] - bounds[s];
+                            let (block, tail) = rest.split_at_mut(take);
+                            rest = tail;
+                            let split =
+                                ops_rest.partition_point(|op| (op.node() as usize) < bounds[s + 1]);
+                            let (ops_here, ops_tail) = ops_rest.split_at(split);
+                            ops_rest = ops_tail;
+                            let base = bounds[s];
+                            let step = *step;
+                            handles.push(scope.spawn(move || {
+                                for op in ops_here {
+                                    let store = &mut block[op.node() as usize - base];
+                                    apply_linked_op(store, op, schedule, step)?;
+                                }
+                                Ok(())
+                            }));
+                        }
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("worker panicked"))
+                            .collect()
+                    });
+                    results.into_iter().collect::<Result<(), ModelError>>()?;
+                    stats.local_ops += ops_all.len();
+                }
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Ok(stats)
+    }
+}
+
+#[inline]
+fn deliver<V: Semiring>(cell: &mut Option<V>, merge: Merge, payload: V) {
+    match merge {
+        Merge::Overwrite => *cell = Some(payload),
+        Merge::Add => {
+            let cur = cell.take().unwrap_or_else(V::zero);
+            *cell = Some(cur.add(&payload));
+        }
+    }
+}
+
+fn apply_linked_op<V: Semiring>(
+    store: &mut [Option<V>],
+    op: &LinkedOp,
+    schedule: &LinkedSchedule,
+    step: usize,
+) -> Result<(), ModelError> {
+    let read = |store: &[Option<V>], node: u32, slot: u32| -> Result<V, ModelError> {
+        store[slot as usize]
+            .clone()
+            .ok_or_else(|| schedule.missing(node, slot, step))
+    };
+    match *op {
+        LinkedOp::Mul {
+            node,
+            dst,
+            lhs,
+            rhs,
+        } => {
+            let a = read(store, node, lhs)?;
+            let b = read(store, node, rhs)?;
+            store[dst as usize] = Some(a.mul(&b));
+        }
+        LinkedOp::AddAssign { node, dst, src } => {
+            let s = read(store, node, src)?;
+            let cell = &mut store[dst as usize];
+            let cur = cell.take().unwrap_or_else(V::zero);
+            *cell = Some(cur.add(&s));
+        }
+        LinkedOp::MulAdd {
+            node,
+            dst,
+            lhs,
+            rhs,
+        } => {
+            let a = read(store, node, lhs)?;
+            let b = read(store, node, rhs)?;
+            let cell = &mut store[dst as usize];
+            let cur = cell.take().unwrap_or_else(V::zero);
+            *cell = Some(cur.add(&a.mul(&b)));
+        }
+        LinkedOp::SubAssign { node, dst, src } => {
+            let s = read(store, node, src)?;
+            let negated = s.try_neg().ok_or(ModelError::UnsupportedOp {
+                node: NodeId(node),
+                step,
+                what: "additive inverses (a ring)",
+            })?;
+            let cell = &mut store[dst as usize];
+            let cur = cell.take().unwrap_or_else(V::zero);
+            *cell = Some(cur.add(&negated));
+        }
+        LinkedOp::BlockMulAdd { block, .. } => {
+            let spec = &schedule.blocks[block as usize];
+            let dim = spec.dim as usize;
+            let fetch = |slots: &[u32]| -> Vec<V> {
+                slots
+                    .iter()
+                    .map(|&s| store[s as usize].clone().unwrap_or_else(V::zero))
+                    .collect()
+            };
+            let a = fetch(&spec.a);
+            let b = fetch(&spec.b);
+            let mut out = vec![V::zero(); dim * dim];
+            for r in 0..dim {
+                for q in 0..dim {
+                    let av = &a[r * dim + q];
+                    if av.is_zero() {
+                        continue;
+                    }
+                    for c in 0..dim {
+                        let bv = &b[q * dim + c];
+                        if bv.is_zero() {
+                            continue;
+                        }
+                        let cell = &mut out[r * dim + c];
+                        *cell = cell.add(&av.mul(bv));
+                    }
+                }
+            }
+            // Every output slot materializes (zeros included), matching the
+            // reference kernel's structural-materialization guarantee.
+            for (&slot, v) in spec.c.iter().zip(out) {
+                let cell = &mut store[slot as usize];
+                let cur = cell.take().unwrap_or_else(V::zero);
+                *cell = Some(cur.add(&v));
+            }
+        }
+        LinkedOp::Copy { node, dst, src } => {
+            let s = read(store, node, src)?;
+            store[dst as usize] = Some(s);
+        }
+        LinkedOp::Zero { dst, .. } => {
+            store[dst as usize] = Some(V::zero());
+        }
+        LinkedOp::Free { slot, .. } => {
+            store[slot as usize] = None;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Nat;
+    use crate::parallel::shard_of;
+    use crate::{Machine, ScheduleBuilder, Transfer};
+
+    /// `shard_bounds` and `shard_of` must agree: each worker's contiguous
+    /// node block is exactly the set of nodes `shard_of` maps to it. The
+    /// parallel runner relies on this to pair `split_at_mut` store blocks
+    /// with `partition_point` event slices.
+    fn shard_invariant_holds(n: usize, threads: usize) -> bool {
+        let bounds = shard_bounds(n, threads);
+        (0..n).all(|node| {
+            let s = shard_of(node, n, threads);
+            bounds[s] <= node && node < bounds[s + 1]
+        })
+    }
+
+    fn xfer(src: u32, sk: Key, dst: u32, dk: Key, merge: Merge) -> Transfer {
+        Transfer {
+            src: NodeId(src),
+            src_key: sk,
+            dst: NodeId(dst),
+            dst_key: dk,
+            merge,
+        }
+    }
+
+    /// A schedule exercising every op kind plus Add/Overwrite transfers.
+    fn mixed_schedule(n: usize) -> Schedule {
+        let mut b = ScheduleBuilder::new(n);
+        // Round 1: ring shift with Add into accumulators.
+        b.round(
+            (0..n as u32)
+                .map(|i| {
+                    xfer(
+                        i,
+                        Key::a(u64::from(i), 0),
+                        (i + 1) % n as u32,
+                        Key::x(0, u64::from(i)),
+                        Merge::Add,
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        // Compute: every node multiplies and accumulates.
+        b.compute(
+            (0..n as u32)
+                .flat_map(|i| {
+                    [
+                        LocalOp::Mul {
+                            node: NodeId(i),
+                            dst: Key::prod(u64::from(i), 0),
+                            lhs: Key::a(u64::from(i), 0),
+                            rhs: Key::b(u64::from(i), 0),
+                        },
+                        LocalOp::MulAdd {
+                            node: NodeId(i),
+                            dst: Key::x(1, 1),
+                            lhs: Key::a(u64::from(i), 0),
+                            rhs: Key::b(u64::from(i), 0),
+                        },
+                        LocalOp::AddAssign {
+                            node: NodeId(i),
+                            dst: Key::x(1, 1),
+                            src: Key::prod(u64::from(i), 0),
+                        },
+                        LocalOp::Copy {
+                            node: NodeId(i),
+                            dst: Key::tmp(7, u64::from(i)),
+                            src: Key::x(1, 1),
+                        },
+                        LocalOp::Zero {
+                            node: NodeId(i),
+                            dst: Key::tmp(8, 0),
+                        },
+                        LocalOp::Free {
+                            node: NodeId(i),
+                            key: Key::prod(u64::from(i), 0),
+                        },
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        // Round 2: overwrite shift back.
+        b.round(
+            (0..n as u32)
+                .map(|i| {
+                    xfer(
+                        i,
+                        Key::tmp(7, u64::from(i)),
+                        (i + n as u32 - 1) % n as u32,
+                        Key::tmp(9, 0),
+                        Merge::Overwrite,
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn linking_is_idempotent_on_counts() {
+        let s = mixed_schedule(8);
+        let l = LinkedSchedule::link(&s).unwrap();
+        assert_eq!(l.n(), s.n());
+        assert_eq!(l.capacity(), s.capacity());
+        assert_eq!(l.rounds(), s.rounds());
+        assert_eq!(l.messages(), s.messages());
+        assert!(l.total_slots() > 0);
+    }
+
+    #[test]
+    fn transfers_sorted_by_destination_within_rounds() {
+        let s = mixed_schedule(8);
+        let l = LinkedSchedule::link(&s).unwrap();
+        for step in &l.steps {
+            if let LinkedStep::Comm { transfers, .. } = step {
+                let ts = &l.transfers[transfers.clone()];
+                assert!(ts.windows(2).all(|w| w[0].dst <= w[1].dst));
+            }
+        }
+    }
+
+    #[test]
+    fn linked_matches_hash_executor_bit_for_bit() {
+        let n = 8;
+        let s = mixed_schedule(n);
+        let l = LinkedSchedule::link(&s).unwrap();
+        let mut reference: Machine<Nat> = Machine::new(n);
+        let mut linked: LinkedMachine<Nat> = LinkedMachine::new(&l);
+        for i in 0..n as u32 {
+            for (key, v) in [
+                (Key::a(u64::from(i), 0), u64::from(i) + 1),
+                (Key::b(u64::from(i), 0), 2 * u64::from(i) + 1),
+            ] {
+                reference.load(NodeId(i), key, Nat(v));
+                linked.load(NodeId(i), key, Nat(v));
+            }
+        }
+        // A value under a key the schedule never mentions must survive.
+        reference.load(NodeId(0), Key::tmp(99, 99), Nat(123));
+        linked.load(NodeId(0), Key::tmp(99, 99), Nat(123));
+
+        let s1 = reference.run(&s).unwrap();
+        let s2 = linked.run().unwrap();
+        assert_eq!(s1, s2, "stats must agree (elapsed excluded from eq)");
+        for i in 0..n as u32 {
+            assert_eq!(
+                reference.snapshot(NodeId(i)),
+                linked.snapshot(NodeId(i)),
+                "node {i} stores diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn linked_parallel_matches_sequential() {
+        let n = 13;
+        let s = mixed_schedule(n);
+        let l = LinkedSchedule::link(&s).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let mut seq: LinkedMachine<Nat> = LinkedMachine::new(&l);
+            let mut par: LinkedMachine<Nat> = LinkedMachine::new(&l);
+            for i in 0..n as u32 {
+                for (key, v) in [
+                    (Key::a(u64::from(i), 0), u64::from(i) + 1),
+                    (Key::b(u64::from(i), 0), 3 * u64::from(i) + 2),
+                ] {
+                    seq.load(NodeId(i), key, Nat(v));
+                    par.load(NodeId(i), key, Nat(v));
+                }
+            }
+            let s1 = seq.run().unwrap();
+            let s2 = par.run_parallel(threads).unwrap();
+            assert_eq!(s1, s2);
+            for i in 0..n as u32 {
+                assert_eq!(
+                    seq.snapshot(NodeId(i)),
+                    par.snapshot(NodeId(i)),
+                    "threads={threads} node={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_mul_add_links_and_matches() {
+        let mut b = ScheduleBuilder::new(1);
+        b.compute(vec![LocalOp::BlockMulAdd {
+            node: NodeId(0),
+            dim: 2,
+            a_ns: 10,
+            b_ns: 11,
+            c_ns: 12,
+        }])
+        .unwrap();
+        let s = b.build();
+        let l = LinkedSchedule::link(&s).unwrap();
+        assert_eq!(l.slots_at(NodeId(0)), 12, "3 blocks × dim²");
+
+        let mut reference: Machine<Nat> = Machine::new(1);
+        let mut linked: LinkedMachine<Nat> = LinkedMachine::new(&l);
+        for (idx, v) in [1u64, 2, 3, 4].into_iter().enumerate() {
+            reference.load(NodeId(0), Key::tmp(10, idx as u64), Nat(v));
+            linked.load(NodeId(0), Key::tmp(10, idx as u64), Nat(v));
+        }
+        for (idx, v) in [5u64, 6, 7, 8].into_iter().enumerate() {
+            reference.load(NodeId(0), Key::tmp(11, idx as u64), Nat(v));
+            linked.load(NodeId(0), Key::tmp(11, idx as u64), Nat(v));
+        }
+        reference.load(NodeId(0), Key::tmp(12, 0), Nat(1));
+        linked.load(NodeId(0), Key::tmp(12, 0), Nat(1));
+        reference.run(&s).unwrap();
+        linked.run().unwrap();
+        assert_eq!(reference.snapshot(NodeId(0)), linked.snapshot(NodeId(0)));
+        assert_eq!(linked.get(NodeId(0), Key::tmp(12, 0)), Some(&Nat(20)));
+    }
+
+    #[test]
+    fn missing_value_error_matches_reference() {
+        let mut b = ScheduleBuilder::new(2);
+        b.round(vec![xfer(
+            0,
+            Key::a(9, 9),
+            1,
+            Key::tmp(0, 0),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        let s = b.build();
+        let l = LinkedSchedule::link(&s).unwrap();
+        let mut reference: Machine<Nat> = Machine::new(2);
+        let mut linked: LinkedMachine<Nat> = LinkedMachine::new(&l);
+        let e1 = reference.run(&s).unwrap_err();
+        let e2 = linked.run().unwrap_err();
+        assert_eq!(e1, e2, "identical MissingValue (node, key, step)");
+    }
+
+    #[test]
+    fn sub_assign_requires_a_ring() {
+        let mut b = ScheduleBuilder::new(1);
+        b.compute(vec![LocalOp::SubAssign {
+            node: NodeId(0),
+            dst: Key::x(0, 0),
+            src: Key::a(0, 0),
+        }])
+        .unwrap();
+        let s = b.build();
+        let l = LinkedSchedule::link(&s).unwrap();
+        let mut m: LinkedMachine<Nat> = LinkedMachine::new(&l);
+        m.load(NodeId(0), Key::a(0, 0), Nat(3));
+        assert!(matches!(m.run(), Err(ModelError::UnsupportedOp { .. })));
+    }
+
+    #[test]
+    fn sharding_invariant_holds_for_awkward_sizes() {
+        for n in [1usize, 2, 5, 13, 64, 100] {
+            for threads in [1usize, 2, 3, 7, 16] {
+                assert!(shard_invariant_holds(n, threads), "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn slot_lookup_roundtrips() {
+        let s = mixed_schedule(4);
+        let l = LinkedSchedule::link(&s).unwrap();
+        for node in 0..4u32 {
+            for slot in 0..l.slots_at(NodeId(node)) as u32 {
+                let key = l.key_of(NodeId(node), slot);
+                assert_eq!(l.slot_of(NodeId(node), key), Some(slot));
+            }
+        }
+        assert_eq!(l.slot_of(NodeId(0), Key::tmp(424242, 0)), None);
+    }
+}

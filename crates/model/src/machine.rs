@@ -1,22 +1,12 @@
 //! The runtime: executes a [`Schedule`] against per-node value stores.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use crate::schedule::{LocalOp, Merge, Step};
 use crate::{Key, ModelError, NodeId, Schedule, Semiring};
 
-/// Cost accounting of one execution.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct ExecutionStats {
-    /// Communication rounds executed (the paper's cost measure).
-    pub rounds: usize,
-    /// Total messages delivered.
-    pub messages: usize,
-    /// Largest number of messages in any single round.
-    pub busiest_round: usize,
-    /// Local ops executed (free in the model; reported for interest).
-    pub local_ops: usize,
-}
+pub use crate::stats::ExecutionStats;
 
 /// A network of `n` computers, each with a key–value store of semiring
 /// elements.
@@ -85,6 +75,7 @@ impl<V: Semiring> Machine<V> {
                 actual: self.n(),
             });
         }
+        let start = Instant::now();
         let mut stats = ExecutionStats::default();
         let cap = schedule.capacity() as u32;
         let mut inbox: Vec<(NodeId, Key, Merge, V)> = Vec::new();
@@ -162,7 +153,14 @@ impl<V: Semiring> Machine<V> {
                 }
             }
         }
+        stats.elapsed = start.elapsed();
         Ok(stats)
+    }
+
+    /// Clone of the full key–value store at `node` (for equivalence tests
+    /// and output extraction).
+    pub fn snapshot(&self, node: NodeId) -> HashMap<Key, V> {
+        self.stores[node.index()].clone()
     }
 
     fn apply_local(&mut self, op: LocalOp, step: usize) -> Result<(), ModelError> {

@@ -18,6 +18,7 @@
 //! instances, not for semantics.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use crate::schedule::{LocalOp, Merge, Step};
 use crate::{ExecutionStats, Key, ModelError, NodeId, Schedule, Semiring};
@@ -50,13 +51,13 @@ impl<V> WorkItem<V> {
 }
 
 /// Shard id for a node: contiguous blocks keep cache locality.
-fn shard_of(node: usize, n: usize, threads: usize) -> usize {
+pub(crate) fn shard_of(node: usize, n: usize, threads: usize) -> usize {
     node * threads / n.max(1)
 }
 
 /// First node of each shard (length `threads + 1`; shard `s` owns
 /// `bounds[s]..bounds[s+1]`).
-fn shard_bounds(n: usize, threads: usize) -> Vec<usize> {
+pub(crate) fn shard_bounds(n: usize, threads: usize) -> Vec<usize> {
     let mut bounds = vec![n; threads + 1];
     bounds[0] = 0;
     let mut cur = 0usize;
@@ -280,6 +281,7 @@ impl<V: Semiring> ParallelMachine<V> {
         let n = self.n();
         let threads = self.threads;
         let cap = schedule.capacity() as u32;
+        let start = Instant::now();
         let mut stats = ExecutionStats::default();
         let mut send_count = vec![0u32; n];
         let mut recv_count = vec![0u32; n];
@@ -374,7 +376,14 @@ impl<V: Semiring> ParallelMachine<V> {
                 }
             }
         }
+        stats.elapsed = start.elapsed();
         Ok(stats)
+    }
+
+    /// Clone of the full key–value store at `node` (for equivalence tests
+    /// and output extraction).
+    pub fn snapshot(&self, node: NodeId) -> HashMap<Key, V> {
+        self.stores[node.index()].clone()
     }
 }
 

@@ -6,8 +6,59 @@
 //! drive the bench harness's diagnostics and the `schedule_inspector`
 //! example.
 
+use std::time::Duration;
+
 use crate::schedule::Step;
 use crate::Schedule;
+
+/// Cost accounting of one execution.
+///
+/// Equality ignores [`ExecutionStats::elapsed`]: the model-level costs
+/// (rounds, messages, busiest round, local ops) are deterministic functions
+/// of the schedule and must agree bit-for-bit across executors, while
+/// wall-clock time is a property of the machine running the simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecutionStats {
+    /// Communication rounds executed (the paper's cost measure).
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: usize,
+    /// Largest number of messages in any single round.
+    pub busiest_round: usize,
+    /// Local ops executed (free in the model; reported for interest).
+    pub local_ops: usize,
+    /// Wall-clock time of the execution (not part of equality).
+    pub elapsed: Duration,
+}
+
+impl ExecutionStats {
+    /// Total simulated events: messages delivered plus local ops executed.
+    pub fn events(&self) -> usize {
+        self.messages + self.local_ops
+    }
+
+    /// Executor throughput in events per wall-clock second (0.0 when the
+    /// execution was too fast to time).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.events() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl PartialEq for ExecutionStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.busiest_round == other.busiest_round
+            && self.local_ops == other.local_ops
+    }
+}
+
+impl Eq for ExecutionStats {}
 
 /// Aggregate statistics of one compiled schedule.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,7 +145,6 @@ impl Schedule {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{Key, LocalOp, Merge, NodeId, ScheduleBuilder, Transfer};
 
     fn xfer(src: u32, dst: u32) -> Transfer {
