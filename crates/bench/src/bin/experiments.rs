@@ -2,9 +2,12 @@
 //! round-count measurements backing EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run -p lowband-bench --release --bin experiments
+//! cargo run -p lowband-bench --release --bin experiments [-- --json]
 //! ```
+//!
+//! With `--json`, additionally writes `results/experiments.json`.
 
+use lowband_bench::report::{Json, JsonReport};
 use lowband_bench::{
     bd_as_as_workload, block_workload, fit_exponent, lemma31_rounds, scattered_workload,
     us_as_gm_workload, TablePrinter,
@@ -14,19 +17,21 @@ use lowband_core::{Instance, TriangleSet};
 use lowband_matrix::Support;
 
 fn main() {
-    e6_lemma31_scaling();
-    e6b_prior_phase2_comparison();
-    e7_general_cases_shape();
-    e9_routing_gap();
-    e10_ablation_coloring();
-    e11_model_comparison();
-    e12_compression_ablation();
+    let mut artifact = JsonReport::new("experiments");
+    e6_lemma31_scaling(&mut artifact);
+    e6b_prior_phase2_comparison(&mut artifact);
+    e7_general_cases_shape(&mut artifact);
+    e9_routing_gap(&mut artifact);
+    e10_ablation_coloring(&mut artifact);
+    e11_model_comparison(&mut artifact);
+    e12_compression_ablation(&mut artifact);
+    artifact.finish();
 }
 
 /// E12 (ablation): dataflow round compression — pipelining the phases of a
 /// compiled algorithm (extension beyond the paper; semantics verified by
 /// property tests).
-fn e12_compression_ablation() {
+fn e12_compression_ablation(artifact: &mut JsonReport) {
     println!("\n# E12 — ablation: phase-sequential schedules vs dataflow compression\n");
     let t = TablePrinter::new(
         &["workload", "algorithm", "rounds", "compressed", "saving"],
@@ -44,6 +49,13 @@ fn e12_compression_ablation() {
             lowband_core::lemma31::process_triangles(&inst, &ts.triangles, ts.kappa(inst.n), 0)
                 .unwrap();
         let compressed = lowband_model::compress(&schedule);
+        artifact.section(
+            "e12_compression",
+            Json::Arr(vec![Json::obj()
+                .set("workload", name.as_str())
+                .set("rounds", schedule.rounds())
+                .set("compressed_rounds", compressed.rounds())]),
+        );
         t.row(&[
             name,
             "Lemma 3.1".into(),
@@ -64,7 +76,7 @@ fn e12_compression_ablation() {
 
 /// E11: low-bandwidth vs node-capacitated clique (§1.5) — the same message
 /// set, routed at capacities 1, ⌈log₂ n⌉ and n.
-fn e11_model_comparison() {
+fn e11_model_comparison(artifact: &mut JsonReport) {
     println!("\n# E11 — model comparison: low-bandwidth vs node-capacitated clique (§1.5)\n");
     let n = 128usize;
     let log_n = (n as f64).log2().ceil() as usize;
@@ -98,6 +110,15 @@ fn e11_model_comparison() {
             let rounds = lowband_routing::route_with_capacity(n, cap, &messages)
                 .unwrap()
                 .rounds();
+            artifact.section(
+                "e11_model_comparison",
+                Json::Arr(vec![Json::obj()
+                    .set("d", d)
+                    .set("model", label)
+                    .set("capacity", cap)
+                    .set("rounds", rounds)
+                    .set("base_rounds", base)]),
+            );
             t.row(&[
                 format!("fetch d={d}"),
                 label.into(),
@@ -114,7 +135,7 @@ fn e11_model_comparison() {
 }
 
 /// E6: Lemma 3.1's O(κ + d + log m) — sweep each term separately.
-fn e6_lemma31_scaling() {
+fn e6_lemma31_scaling(artifact: &mut JsonReport) {
     println!("# E6 — Lemma 3.1 cost model O(κ + d + log m)\n");
 
     println!("## κ sweep (block workload, κ = d², d and log m grow slowly)\n");
@@ -126,6 +147,13 @@ fn e6_lemma31_scaling() {
         let kappa = ts.kappa(inst.n);
         let rounds = lemma31_rounds(&inst, None);
         pts.push((kappa as f64, rounds as f64));
+        artifact.section(
+            "e6_kappa_sweep",
+            Json::Arr(vec![Json::obj()
+                .set("d", d)
+                .set("kappa", kappa)
+                .set("rounds", rounds)]),
+        );
         t.row(&[
             d.to_string(),
             kappa.to_string(),
@@ -135,6 +163,7 @@ fn e6_lemma31_scaling() {
     }
     let (e, _) = fit_exponent(&pts).expect("κ sweep has positive rounds");
     println!("\nrounds vs κ fitted exponent: {e:.3} (theory: 1.0 — linear in κ)\n");
+    artifact.section("e6_kappa_fit", Json::obj().set("exponent", e));
 
     println!("## log m sweep (single heavy pair: m triangles share one edge)\n");
     let t = TablePrinter::new(&["n = m", "rounds", "⌈log₂ m⌉"], &[8, 8, 10]);
@@ -145,6 +174,13 @@ fn e6_lemma31_scaling() {
         let xhat = Support::from_entries(n, n, (0..n as u32).map(|i| (i, 0)));
         let inst = Instance::balanced(ahat, bhat, xhat);
         let rounds = lemma31_rounds(&inst, None);
+        artifact.section(
+            "e6_logm_sweep",
+            Json::Arr(vec![Json::obj()
+                .set("n", n)
+                .set("rounds", rounds)
+                .set("log2_m", ((n as f64).log2()).ceil() as usize)]),
+        );
         t.row(&[
             n.to_string(),
             rounds.to_string(),
@@ -156,7 +192,7 @@ fn e6_lemma31_scaling() {
 
 /// E6b: the headline Lemma 3.1 improvement — d^{2−ε} vs prior d^{2−ε/2}
 /// residual processing, from the cost models both papers prove.
-fn e6b_prior_phase2_comparison() {
+fn e6b_prior_phase2_comparison(artifact: &mut JsonReport) {
     println!("# E6b — phase-2 cost: this work vs SPAA 2022 (analytic, Lemma 3.1 vs Lemma 5.1)\n");
     let t = TablePrinter::new(
         &[
@@ -187,11 +223,19 @@ fn e6b_prior_phase2_comparison() {
         prior.exponent,
         prior.steps.last().unwrap().eps
     );
+    artifact.section(
+        "e6b_phase2",
+        Json::obj()
+            .set("our_exponent", ours.exponent)
+            .set("our_eps", ours.steps.last().unwrap().eps)
+            .set("prior_exponent", prior.exponent)
+            .set("prior_eps", prior.steps.last().unwrap().eps),
+    );
 }
 
 /// E7: the O(d² + log n) shape of Theorems 5.3/5.11 — d sweep at fixed n,
 /// n sweep at fixed d.
-fn e7_general_cases_shape() {
+fn e7_general_cases_shape(artifact: &mut JsonReport) {
     println!("# E7 — Theorems 5.3/5.11: O(d² + log n) shape\n");
     println!("## d sweep at n = 96\n");
     let t = TablePrinter::new(
@@ -204,6 +248,14 @@ fn e7_general_cases_shape() {
         let ts = TriangleSet::enumerate(&inst);
         let rounds = lemma31_rounds(&inst, None);
         pts.push((d as f64, rounds as f64));
+        artifact.section(
+            "e7_d_sweep",
+            Json::Arr(vec![Json::obj()
+                .set("task", "[US:AS:GM]")
+                .set("d", d)
+                .set("kappa", ts.kappa(inst.n))
+                .set("rounds", rounds)]),
+        );
         t.row(&[
             "[US:AS:GM]".into(),
             d.to_string(),
@@ -214,12 +266,20 @@ fn e7_general_cases_shape() {
     }
     let (e, _) = fit_exponent(&pts).expect("d sweep has positive rounds");
     println!("\nfitted exponent vs d: {e:.3} (theory: 2.0)\n");
+    artifact.section("e7_d_fit", Json::obj().set("exponent", e));
 
     println!("## n sweep at d = 3 (additive log n term)\n");
     let t = TablePrinter::new(&["task", "n", "rounds"], &[12, 6, 8]);
     for n in [48usize, 96, 192, 384] {
         let inst = bd_as_as_workload(n, 3, 30);
         let rounds = lemma31_rounds(&inst, None);
+        artifact.section(
+            "e7_n_sweep",
+            Json::Arr(vec![Json::obj()
+                .set("task", "[BD:AS:AS]")
+                .set("n", n)
+                .set("rounds", rounds)]),
+        );
         t.row(&["[BD:AS:AS]".into(), n.to_string(), rounds.to_string()]);
     }
     println!("\nrounds stay nearly flat in n (the log n term), as Theorem 5.11 predicts.\n");
@@ -227,7 +287,7 @@ fn e7_general_cases_shape() {
 
 /// E9: the √n gap — certified lower bound vs executed upper bound on the
 /// routing gadgets.
-fn e9_routing_gap() {
+fn e9_routing_gap(artifact: &mut JsonReport) {
     println!("# E9 — Theorem 6.27 gadgets: certificate vs executed algorithm\n");
     let t = TablePrinter::new(
         &["gadget", "n", "√n", "certified LB", "executed UB", "UB/n"],
@@ -240,6 +300,14 @@ fn e9_routing_gap() {
         ] {
             let cert = lowband_lower::max_foreign_values(&g);
             let ub = lemma31_rounds(&g, None);
+            artifact.section(
+                "e9_routing_gap",
+                Json::Arr(vec![Json::obj()
+                    .set("gadget", name)
+                    .set("n", n)
+                    .set("certified_lb", cert)
+                    .set("executed_ub", ub)]),
+            );
             t.row(&[
                 name.into(),
                 n.to_string(),
@@ -259,17 +327,26 @@ fn e9_routing_gap() {
         let square = lowband_lower::gadgets::with_square_block_output(
             lowband_lower::gadgets::us_gm_gadget(n),
         );
+        let lb_balanced = lowband_lower::max_foreign_values(&balanced);
+        let lb_square = lowband_lower::max_foreign_values(&square);
+        artifact.section(
+            "e9_placement_game",
+            Json::Arr(vec![Json::obj()
+                .set("n", n)
+                .set("balanced_lb", lb_balanced)
+                .set("square_block_lb", lb_square)]),
+        );
         t.row(&[
             "balanced rows".into(),
             n.to_string(),
             ((n as f64).sqrt() as usize).to_string(),
-            lowband_lower::max_foreign_values(&balanced).to_string(),
+            lb_balanced.to_string(),
         ]);
         t.row(&[
             "√n×√n blocks".into(),
             n.to_string(),
             ((n as f64).sqrt() as usize).to_string(),
-            lowband_lower::max_foreign_values(&square).to_string(),
+            lb_square.to_string(),
         ]);
     }
     println!(
@@ -280,7 +357,7 @@ fn e9_routing_gap() {
 
 /// E10 (ablation): exact Δ edge coloring vs greedy first-fit — the design
 /// choice DESIGN.md calls out for the routing substrate.
-fn e10_ablation_coloring() {
+fn e10_ablation_coloring(artifact: &mut JsonReport) {
     println!("# E10 — ablation: exact Δ-edge-coloring vs greedy routing\n");
     let t = TablePrinter::new(
         &["workload", "d", "exact rounds", "greedy rounds", "overhead"],
@@ -309,6 +386,13 @@ fn e10_ablation_coloring() {
         let greedy = lowband_routing::route_greedy(inst.n, &messages)
             .unwrap()
             .rounds();
+        artifact.section(
+            "e10_coloring",
+            Json::Arr(vec![Json::obj()
+                .set("d", d)
+                .set("exact_rounds", exact)
+                .set("greedy_rounds", greedy)]),
+        );
         t.row(&[
             "scattered US".into(),
             d.to_string(),

@@ -3,9 +3,12 @@
 //! an ASCII rendering of the ladder.
 //!
 //! ```text
-//! cargo run -p lowband-bench --release --bin figure1
+//! cargo run -p lowband-bench --release --bin figure1 [-- --json]
 //! ```
+//!
+//! With `--json`, additionally writes `results/figure1.json`.
 
+use lowband_bench::report::{Json, JsonReport};
 use lowband_bench::TablePrinter;
 use lowband_core::optimizer::{headline_exponents, lambda_field, OMEGA_STRASSEN};
 
@@ -16,6 +19,7 @@ fn bar(lo: f64, hi: f64, value: f64, width: usize) -> String {
 }
 
 fn main() {
+    let mut artifact = JsonReport::new("figure1");
     println!("# Figure (§1.2) — exponent progress towards the dense milestones\n");
     let h = headline_exponents(0.00001);
 
@@ -36,6 +40,16 @@ fn main() {
 
     let t = TablePrinter::new(&["algorithm", "semirings", "fields"], &[34, 10, 10]);
     for (name, s, f) in &rows {
+        artifact.section(
+            "ladder",
+            Json::Arr(vec![Json::obj()
+                .set("algorithm", *name)
+                .set(
+                    "semiring_exponent",
+                    if s.is_nan() { None } else { Some(*s) },
+                )
+                .set("field_exponent", *f)]),
+        );
         t.row(&[
             (*name).into(),
             if s.is_nan() {
@@ -70,4 +84,19 @@ fn main() {
         100.0 * (2.0 - h.prior_semiring) / (2.0 - h.milestone_semiring),
         100.0 * (2.0 - h.prior_field) / (2.0 - h.milestone_field),
     );
+    artifact.section(
+        "gap_closed",
+        Json::obj()
+            .set("semiring_fraction", closed_semi)
+            .set("field_fraction", closed_field)
+            .set(
+                "prior_semiring_fraction",
+                (2.0 - h.prior_semiring) / (2.0 - h.milestone_semiring),
+            )
+            .set(
+                "prior_field_fraction",
+                (2.0 - h.prior_field) / (2.0 - h.milestone_field),
+            ),
+    );
+    artifact.finish();
 }

@@ -3,9 +3,12 @@
 //! lower bounds from the executable certificates.
 //!
 //! ```text
-//! cargo run -p lowband-bench --release --bin table2
+//! cargo run -p lowband-bench --release --bin table2 [-- --json]
 //! ```
+//!
+//! With `--json`, additionally writes `results/table2.json`.
 
+use lowband_bench::report::{format_rate, Json, JsonReport};
 use lowband_bench::{bd_as_as_workload, mixed_workload, us_as_gm_workload, TablePrinter};
 use lowband_core::classify::{all_multisets, classify, Band};
 use lowband_core::densemm::DenseEngine;
@@ -17,6 +20,7 @@ use lowband_lower::{
 use lowband_matrix::Fp;
 
 fn main() {
+    let mut artifact = JsonReport::new("table2");
     println!("# Table 2 — classification of sparse matrix multiplication tasks\n");
     let t = TablePrinter::new(
         &["task", "band", "upper bound", "lower bound"],
@@ -32,6 +36,14 @@ fn main() {
             Band::Conditional => "conditional",
             Band::Open => "open",
         };
+        artifact.section(
+            "classification",
+            Json::Arr(vec![Json::obj()
+                .set("task", format!("[{}:{}:{}]", ms[0], ms[1], ms[2]))
+                .set("band", band)
+                .set("upper_bound", c.upper_bound())
+                .set("lower_bound", c.lower_bound())]),
+        );
         t.row(&[
             format!("[{}:{}:{}]", ms[0], ms[1], ms[2]),
             band.into(),
@@ -54,14 +66,25 @@ fn main() {
     )
     .unwrap();
     println!(
-        "n = {}, d = {}: {} rounds, {} messages, verified = {}",
+        "n = {}, d = {}: {} rounds, {} messages, verified = {}, throughput = {}",
         inst.n,
         d + 2,
         report.rounds,
         report.messages,
-        report.correct
+        report.correct,
+        format_rate(report.events_per_sec),
     );
     assert!(report.correct);
+    artifact.section(
+        "band1_fast_run",
+        Json::obj()
+            .set("n", inst.n)
+            .set("d", d + 2)
+            .set("rounds", report.rounds)
+            .set("messages", report.messages)
+            .set("correct", report.correct)
+            .set("events_per_sec", report.events_per_sec),
+    );
 
     // ---- Band 2: general ----------------------------------------------------
     println!("\n## Band 2 (general): O(d² + log n) via Theorems 5.3 / 5.11, verified runs\n");
@@ -77,6 +100,17 @@ fn main() {
     ] {
         let report = run_algorithm::<Fp>(&inst, Algorithm::BoundedTriangles, 12).unwrap();
         let envelope = (d * d) as f64 + (inst.n as f64).log2();
+        artifact.section(
+            "band2_general_runs",
+            Json::Arr(vec![Json::obj()
+                .set("task", name)
+                .set("n", inst.n)
+                .set("d", d)
+                .set("rounds", report.rounds)
+                .set("envelope", envelope)
+                .set("correct", report.correct)
+                .set("events_per_sec", report.events_per_sec)]),
+        );
         t.row(&[
             name.into(),
             inst.n.to_string(),
@@ -91,6 +125,13 @@ fn main() {
     println!("\nΩ(log n) side (Theorem 6.15, via Lemmas 6.5/6.13): broadcast sandwich\n");
     let t = TablePrinter::new(&["n", "LB ⌈log₃n⌉", "UB ⌈log₂n⌉"], &[8, 12, 12]);
     for n in [64usize, 1024, 65536] {
+        artifact.section(
+            "broadcast_sandwich",
+            Json::Arr(vec![Json::obj()
+                .set("n", n)
+                .set("lower", broadcast_lower_bound(n))
+                .set("upper", broadcast_upper_bound(n))]),
+        );
         t.row(&[
             n.to_string(),
             broadcast_lower_bound(n).to_string(),
@@ -108,6 +149,12 @@ fn main() {
          paper's O(d⁴) entry.",
         report.rounds, report.correct
     );
+    artifact.section(
+        "outlier_run",
+        Json::obj()
+            .set("rounds", report.rounds)
+            .set("correct", report.correct),
+    );
 
     // ---- Band 4: √n-hard ----------------------------------------------------
     println!("\n## Band 4 (√n-hard): certified foreign-value bounds (Theorem 6.27)\n");
@@ -119,6 +166,14 @@ fn main() {
         for (name, g) in [("US×GM=GM", us_gm_gadget(n)), ("RS×CS=GM", rs_cs_gadget(n))] {
             let cert = max_foreign_values(&g);
             let ub = lowband_bench::lemma31_rounds(&g, None);
+            artifact.section(
+                "gadget_certificates",
+                Json::Arr(vec![Json::obj()
+                    .set("gadget", name)
+                    .set("n", n)
+                    .set("certificate", cert)
+                    .set("measured_ub", ub)]),
+            );
             t.row(&[
                 name.into(),
                 n.to_string(),
@@ -138,6 +193,15 @@ fn main() {
     );
     for m in [4usize, 8, 12, 16] {
         let r = dense_via_as_reduction(m, 15).unwrap();
+        artifact.section(
+            "dense_packing",
+            Json::Arr(vec![Json::obj()
+                .set("m", m)
+                .set("n", r.n)
+                .set("inner_rounds", r.inner_rounds)
+                .set("simulated_rounds", r.simulated_rounds)
+                .set("correct", r.correct)]),
+        );
         t.row(&[
             m.to_string(),
             r.n.to_string(),
@@ -152,4 +216,6 @@ fn main() {
         "\nT'(m) stays well above m^λ — consistent with Theorem 6.19: an [AS:AS:AS]\n\
          solver fast enough to push T'(m) below m^λ would be a dense-MM breakthrough."
     );
+
+    artifact.finish();
 }

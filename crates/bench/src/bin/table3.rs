@@ -2,9 +2,12 @@
 //! from the optimizer recurrence, next to the paper's printed values.
 //!
 //! ```text
-//! cargo run -p lowband-bench --release --bin table3
+//! cargo run -p lowband-bench --release --bin table3 [-- --json]
 //! ```
+//!
+//! With `--json`, additionally writes `results/table3.json`.
 
+use lowband_bench::report::{Json, JsonReport};
 use lowband_bench::TablePrinter;
 use lowband_core::optimizer::{schedule, Phase2, LAMBDA_SEMIRING};
 
@@ -16,6 +19,7 @@ const PAPER: [(f64, f64, f64, f64, f64); 4] = [
 ];
 
 fn main() {
+    let mut artifact = JsonReport::new("table3");
     println!("# Table 3 — parameters for the proof of Lemma 4.13 (semirings)\n");
     println!("recurrence: ε_t = (A − λ − 4δ + γ_t)/5, γ_(t+1) = ε_t, with A = 1.867, λ = 4/3\n");
     let s = schedule(LAMBDA_SEMIRING, 0.00001, 1.867, Phase2::ThisWork);
@@ -25,6 +29,18 @@ fn main() {
     );
     for (i, row) in s.steps.iter().enumerate() {
         let paper_eps = PAPER.get(i).map(|p| p.2).unwrap_or(f64::NAN);
+        artifact.section(
+            "steps",
+            Json::Arr(vec![Json::obj()
+                .set("step", i + 1)
+                .set("delta", row.delta)
+                .set("gamma", row.gamma)
+                .set("eps", row.eps)
+                .set("alpha", row.alpha)
+                .set("beta", row.beta)
+                .set("paper_eps", paper_eps)
+                .set("eps_deviation", (row.eps - paper_eps).abs())]),
+        );
         t.row(&[
             (i + 1).to_string(),
             format!("{:.5}", row.delta),
@@ -57,4 +73,12 @@ fn main() {
         s.exponent,
         s.steps.last().unwrap().beta
     );
+    artifact.section(
+        "summary",
+        Json::obj()
+            .set("max_deviation", max_dev)
+            .set("exponent", s.exponent)
+            .set("residual_beta", s.steps.last().unwrap().beta),
+    );
+    artifact.finish();
 }

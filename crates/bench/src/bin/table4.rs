@@ -2,9 +2,12 @@
 //! plus the implementable-Strassen variant.
 //!
 //! ```text
-//! cargo run -p lowband-bench --release --bin table4
+//! cargo run -p lowband-bench --release --bin table4 [-- --json]
 //! ```
+//!
+//! With `--json`, additionally writes `results/table4.json`.
 
+use lowband_bench::report::{Json, JsonReport};
 use lowband_bench::TablePrinter;
 use lowband_core::optimizer::{
     lambda_field, optimal_schedule, schedule, Phase2, OMEGA_PAPER, OMEGA_STRASSEN,
@@ -18,6 +21,7 @@ const PAPER: [(f64, f64, f64, f64, f64); 4] = [
 ];
 
 fn main() {
+    let mut artifact = JsonReport::new("table4");
     println!("# Table 4 — parameters for the proof of Lemma 4.13 (fields)\n");
     println!(
         "λ = 2 − 2/ω = {:.6} with ω = {OMEGA_PAPER} [23]; A = 1.832\n",
@@ -32,6 +36,18 @@ fn main() {
     for (i, row) in s.steps.iter().enumerate() {
         let paper_eps = PAPER.get(i).map(|p| p.2).unwrap_or(f64::NAN);
         max_dev = max_dev.max((row.eps - paper_eps).abs());
+        artifact.section(
+            "steps",
+            Json::Arr(vec![Json::obj()
+                .set("step", i + 1)
+                .set("delta", row.delta)
+                .set("gamma", row.gamma)
+                .set("eps", row.eps)
+                .set("alpha", row.alpha)
+                .set("beta", row.beta)
+                .set("paper_eps", paper_eps)
+                .set("eps_deviation", (row.eps - paper_eps).abs())]),
+        );
         t.row(&[
             (i + 1).to_string(),
             format!("{:.5}", row.delta),
@@ -56,6 +72,15 @@ fn main() {
     );
     let t = TablePrinter::new(&["step", "γ", "ε", "α", "β"], &[4, 8, 8, 8, 8]);
     for (i, row) in strassen.steps.iter().enumerate() {
+        artifact.section(
+            "strassen_steps",
+            Json::Arr(vec![Json::obj()
+                .set("step", i + 1)
+                .set("gamma", row.gamma)
+                .set("eps", row.eps)
+                .set("alpha", row.alpha)
+                .set("beta", row.beta)]),
+        );
         t.row(&[
             (i + 1).to_string(),
             format!("{:.5}", row.gamma),
@@ -64,4 +89,12 @@ fn main() {
             format!("{:.5}", row.beta),
         ]);
     }
+    artifact.section(
+        "summary",
+        Json::obj()
+            .set("max_eps_deviation", max_dev)
+            .set("strassen_exponent", strassen.exponent)
+            .set("lambda_strassen", lambda_field(OMEGA_STRASSEN)),
+    );
+    artifact.finish();
 }

@@ -1,0 +1,53 @@
+//! Validate every machine-readable run artifact under the results
+//! directory: each `results/*.json` must parse and carry the
+//! `{"name": ..., "sections": {...}}` envelope written by
+//! [`lowband_bench::report::JsonReport`].
+//!
+//! ```text
+//! cargo run -p lowband-bench --bin validate_results
+//! ```
+//!
+//! Exits non-zero if any artifact is malformed, or if the directory
+//! contains no artifacts at all (so CI fails loudly when generation was
+//! skipped). `LOWBAND_RESULTS_DIR` overrides the directory.
+
+use lowband_bench::report::{results_dir, validate_artifact};
+
+fn main() {
+    let dir = results_dir();
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("validate_results: cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        checked += 1;
+        match validate_artifact(&path) {
+            Ok(sections) => println!("ok   {} ({sections} sections)", path.display()),
+            Err(msg) => {
+                failed += 1;
+                eprintln!("FAIL {}: {msg}", path.display());
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!(
+            "validate_results: no *.json artifacts in {} — run a table bin with --json first",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    println!("validated {checked} artifact(s), {failed} failure(s)");
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

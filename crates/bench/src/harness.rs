@@ -15,9 +15,68 @@
 //! cargo passes are accepted and ignored. `LOWBAND_BENCH_SAMPLES` overrides
 //! the per-benchmark sample count.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+use crate::report::{json_mode, Json, JsonReport};
+
+/// Measurements collected for the `--json` artifact; drained by
+/// [`write_json_records`] from the `criterion_main!`-generated `main`.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+struct Record {
+    id: String,
+    samples: usize,
+    median_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Write `results/bench_<name>.json` with every measurement recorded so
+/// far. No-op without `--json`. Called automatically by
+/// [`criterion_main!`]; `name` is derived from the bench executable.
+pub fn write_json_records() {
+    if !json_mode() {
+        return;
+    }
+    let records = std::mem::take(&mut *RECORDS.lock().unwrap());
+    let name = bench_name();
+    let rows: Vec<Json> = records
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .set("id", r.id.as_str())
+                .set("samples", r.samples)
+                .set("median_ns", r.median_ns)
+                .set("min_ns", r.min_ns)
+                .set("max_ns", r.max_ns)
+        })
+        .collect();
+    let mut report = JsonReport::new(format!("bench_{name}"));
+    report.section("measurements", Json::Arr(rows));
+    report.finish();
+}
+
+/// The bench target's name: executable stem minus cargo's trailing
+/// `-<metadata hash>` (e.g. `link_vs_hash-60837f…` → `link_vs_hash`).
+fn bench_name() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((base, hash))
+            if !base.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
 
 /// Target wall-clock time for one measured sample.
 const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
@@ -147,6 +206,15 @@ impl BenchmarkGroup<'_> {
             format_time(times[0]),
             format_time(times[times.len() - 1]),
         );
+        if json_mode() {
+            RECORDS.lock().unwrap().push(Record {
+                id: full,
+                samples: times.len(),
+                median_ns: median.as_nanos() as u64,
+                min_ns: times[0].as_nanos() as u64,
+                max_ns: times[times.len() - 1].as_nanos() as u64,
+            });
+        }
         self
     }
 
@@ -238,12 +306,14 @@ macro_rules! criterion_group {
 }
 
 /// Generate `main` running the listed groups (mirrors
-/// `criterion::criterion_main!`).
+/// `criterion::criterion_main!`), then writing the `--json` artifact if
+/// requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::harness::write_json_records();
         }
     };
 }

@@ -10,6 +10,7 @@ use lowband_matrix::{gen, Support};
 use rand::SeedableRng;
 
 pub mod harness;
+pub mod report;
 
 /// Least-squares fit of `log y = e·log x + c`; returns `Some((e, exp(c)))`.
 ///

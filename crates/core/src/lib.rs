@@ -41,5 +41,5 @@ pub mod triangles;
 
 pub use classify::{classify, Classification};
 pub use instance::{Instance, Placement, ValueStore};
-pub use runner::{run_algorithm, Algorithm, RunReport};
+pub use runner::{run_algorithm, run_algorithm_traced, Algorithm, RunReport};
 pub use triangles::{Triangle, TriangleSet};

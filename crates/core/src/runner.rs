@@ -8,7 +8,7 @@
 
 use lowband_matrix::algebra::SampleElement;
 use lowband_matrix::{reference_multiply, SparseMatrix};
-use lowband_model::{ModelError, Semiring};
+use lowband_model::{ModelError, NoopTracer, Semiring, Tracer};
 use rand::SeedableRng;
 
 use crate::algorithms::{
@@ -53,6 +53,9 @@ pub struct RunReport {
     pub triangles: usize,
     /// Whether the simulated output matched the reference product.
     pub correct: bool,
+    /// Executor throughput (simulated events per wall-clock second);
+    /// `None` when the run was below clock resolution.
+    pub events_per_sec: Option<f64>,
 }
 
 /// Compile, execute with seeded random values of type `S`, verify.
@@ -61,6 +64,68 @@ pub fn run_algorithm<S: Semiring + SampleElement>(
     algorithm: Algorithm,
     seed: u64,
 ) -> Result<RunReport, ModelError> {
+    run_algorithm_traced::<S, _>(inst, algorithm, seed, false, &mut NoopTracer)
+}
+
+/// [`run_algorithm`] with two extra controls: an optional schedule
+/// [compression](lowband_model::compress) pass between compile and link,
+/// and an instrumentation sink observing the whole pipeline.
+///
+/// The sink sees one span per phase — `"compile"`, `"compress"` (only if
+/// requested), `"link"`, `"load"`, `"run"`, `"verify"` — plus artifact
+/// sizes as counters (`schedule.rounds`, `schedule.messages`,
+/// `compress.*`, `link.*`) and the executor's per-round event stream (see
+/// [`lowband_model::Machine::run_traced`]).
+pub fn run_algorithm_traced<S: Semiring + SampleElement, T: Tracer>(
+    inst: &Instance,
+    algorithm: Algorithm,
+    seed: u64,
+    compress: bool,
+    tracer: &mut T,
+) -> Result<RunReport, ModelError> {
+    tracer.span_enter("compile");
+    let compiled = compile(inst, algorithm);
+    tracer.span_exit("compile");
+    let (ts_len, mut schedule, modeled) = compiled?;
+    tracer.counter("schedule.rounds", schedule.rounds() as u64);
+    tracer.counter("schedule.messages", schedule.messages() as u64);
+    if compress {
+        schedule = lowband_model::compress_traced(&schedule, tracer);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
+    let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
+    // Link once (interning keys to dense slots and validating the model
+    // constraints), then execute on the hash-free slot-store backend.
+    let linked = lowband_model::link_traced(&schedule, tracer)?;
+    tracer.span_enter("load");
+    let mut machine = inst.load_linked(&a, &b, &linked);
+    tracer.span_exit("load");
+    tracer.span_enter("run");
+    let run_result = machine.run_traced(tracer);
+    tracer.span_exit("run");
+    let stats = run_result?;
+    tracer.span_enter("verify");
+    let got = inst.extract_x_from(&machine);
+    let want = reference_multiply(&a, &b, &inst.xhat);
+    let correct = got == want;
+    tracer.span_exit("verify");
+    Ok(RunReport {
+        rounds: stats.rounds,
+        messages: stats.messages,
+        modeled_rounds: modeled,
+        triangles: ts_len,
+        correct,
+        events_per_sec: stats.events_per_sec(),
+    })
+}
+
+/// The compile phase of [`run_algorithm_traced`]: triangle enumeration
+/// plus the selected solver.
+fn compile(
+    inst: &Instance,
+    algorithm: Algorithm,
+) -> Result<(usize, lowband_model::Schedule, f64), ModelError> {
     let ts = TriangleSet::enumerate(inst);
     let (schedule, modeled) = match algorithm {
         Algorithm::Trivial => {
@@ -89,23 +154,7 @@ pub fn run_algorithm<S: Semiring + SampleElement>(
             (s, r)
         }
     };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
-    let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
-    // Link once (interning keys to dense slots and validating the model
-    // constraints), then execute on the hash-free slot-store backend.
-    let linked = lowband_model::link(&schedule)?;
-    let mut machine = inst.load_linked(&a, &b, &linked);
-    let stats = machine.run()?;
-    let got = inst.extract_x_from(&machine);
-    let want = reference_multiply(&a, &b, &inst.xhat);
-    Ok(RunReport {
-        rounds: stats.rounds,
-        messages: stats.messages,
-        modeled_rounds: modeled,
-        triangles: ts.len(),
-        correct: got == want,
-    })
+    Ok((ts.len(), schedule, modeled))
 }
 
 #[cfg(test)]

@@ -324,6 +324,20 @@ pub fn compress(schedule: &Schedule) -> Schedule {
     c.finish()
 }
 
+/// [`compress`] with an instrumentation sink: wraps the pass in a
+/// `"compress"` span and records the input and output round counts (the
+/// pass's whole purpose is the `rounds_in → rounds_out` drop) plus the
+/// message total, which compression must preserve.
+pub fn compress_traced<T: lowband_trace::Tracer>(schedule: &Schedule, tracer: &mut T) -> Schedule {
+    tracer.span_enter("compress");
+    let out = compress(schedule);
+    tracer.counter("compress.rounds_in", schedule.rounds() as u64);
+    tracer.counter("compress.rounds_out", out.rounds() as u64);
+    tracer.counter("compress.messages", out.messages() as u64);
+    tracer.span_exit("compress");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,15 +63,20 @@ pub mod serial;
 pub mod stats;
 
 pub use algebra::Semiring;
-pub use compress::compress;
+pub use compress::{compress, compress_traced};
 pub use error::ModelError;
 pub use key::Key;
-pub use link::{link, LinkedMachine, LinkedSchedule};
+pub use link::{link, link_traced, LinkedMachine, LinkedSchedule};
 pub use machine::{ExecutionStats, Machine};
 pub use parallel::ParallelMachine;
 pub use schedule::{LocalOp, Merge, Round, Schedule, ScheduleBuilder, Step, Transfer};
 pub use serial::{read_schedule, write_schedule};
 pub use stats::ScheduleStats;
+
+// The instrumentation substrate, re-exported so downstream crates don't
+// need a separate dependency edge for the common case.
+pub use lowband_trace as trace;
+pub use lowband_trace::{NoopTracer, Tracer};
 
 /// Identifier of a real computer in the network, in `0..n`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]

@@ -30,6 +30,8 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::time::Instant;
 
+use lowband_trace::{NoopTracer, RoundEvent, Tracer};
+
 use crate::parallel::shard_bounds;
 use crate::schedule::{LocalOp, Merge, Round, Step};
 use crate::{ExecutionStats, Key, ModelError, NodeId, Schedule, Semiring};
@@ -420,6 +422,25 @@ pub fn link(schedule: &Schedule) -> Result<LinkedSchedule, ModelError> {
     LinkedSchedule::link(schedule)
 }
 
+/// [`link`] with an instrumentation sink: wraps the pass in a `"link"`
+/// span and records the artifact's size — rounds and transfers in, slot
+/// stores and op list out.
+pub fn link_traced<T: Tracer>(
+    schedule: &Schedule,
+    tracer: &mut T,
+) -> Result<LinkedSchedule, ModelError> {
+    tracer.span_enter("link");
+    let result = LinkedSchedule::link(schedule);
+    if let Ok(ls) = &result {
+        tracer.counter("link.rounds", ls.rounds() as u64);
+        tracer.counter("link.transfers", ls.messages() as u64);
+        tracer.counter("link.ops", ls.ops.len() as u64);
+        tracer.counter("link.slots", ls.total_slots() as u64);
+    }
+    tracer.span_exit("link");
+    result
+}
+
 /// Slot-store executor for a [`LinkedSchedule`].
 ///
 /// Each node's store is a flat `Vec<Option<V>>` indexed by slot id; `None`
@@ -498,13 +519,34 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
     /// bit-identical to [`crate::Machine::run`] on the source schedule; no
     /// hashing or constraint checking happens per event.
     pub fn run(&mut self) -> Result<ExecutionStats, ModelError> {
+        self.run_traced(&mut NoopTracer)
+    }
+
+    /// [`LinkedMachine::run`] with an instrumentation sink: one
+    /// [`RoundEvent`] per round, a `run.local_ops` counter per compute
+    /// step, and per-node send/receive loads at the end. All payload
+    /// gathering is guarded by `T::ENABLED` (a constant), so with
+    /// [`NoopTracer`] this compiles to exactly [`LinkedMachine::run`] —
+    /// the hash-free hot path stays hash-free and branch-free.
+    pub fn run_traced<T: Tracer>(&mut self, tracer: &mut T) -> Result<ExecutionStats, ModelError> {
         let schedule = self.schedule;
         let start = Instant::now();
         let mut stats = ExecutionStats::default();
         let mut inbox: Vec<V> = Vec::new();
+        let (mut node_sends, mut node_recvs) = if T::ENABLED {
+            (vec![0u64; schedule.n], vec![0u64; schedule.n])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut ops_since_round = 0u64;
         for step in &schedule.steps {
             match step {
                 LinkedStep::Comm { transfers, step } => {
+                    let round_start = if T::ENABLED {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
                     let ts = &schedule.transfers[transfers.clone()];
                     // Read phase: gather all payloads before any delivery,
                     // so that delivery within a round is simultaneous.
@@ -524,9 +566,20 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                             payload,
                         );
                     }
-                    stats.rounds += 1;
-                    stats.messages += ts.len();
-                    stats.busiest_round = stats.busiest_round.max(ts.len());
+                    stats.record_round(ts.len());
+                    if T::ENABLED {
+                        for t in ts {
+                            node_sends[t.src as usize] += 1;
+                            node_recvs[t.dst as usize] += 1;
+                        }
+                        tracer.round(RoundEvent {
+                            index: (stats.rounds - 1) as u64,
+                            messages: ts.len() as u64,
+                            local_ops: ops_since_round,
+                            nanos: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                        });
+                        ops_since_round = 0;
+                    }
                 }
                 LinkedStep::Compute { ops, step } => {
                     for op in &schedule.ops[ops.clone()] {
@@ -534,8 +587,15 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                         apply_linked_op(store, op, schedule, *step)?;
                         stats.local_ops += 1;
                     }
+                    tracer.counter("run.local_ops", ops.len() as u64);
+                    if T::ENABLED {
+                        ops_since_round += ops.len() as u64;
+                    }
                 }
             }
+        }
+        if T::ENABLED {
+            tracer.node_loads(&node_sends, &node_recvs);
         }
         stats.elapsed = start.elapsed();
         Ok(stats)
@@ -549,6 +609,17 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
     /// worker's deliveries form one contiguous slice — no per-round
     /// re-sharding allocation as in [`crate::ParallelMachine`].
     pub fn run_parallel(&mut self, threads: usize) -> Result<ExecutionStats, ModelError> {
+        self.run_parallel_traced(threads, &mut NoopTracer)
+    }
+
+    /// [`LinkedMachine::run_parallel`] with an instrumentation sink; same
+    /// event stream as [`LinkedMachine::run_traced`]. With [`NoopTracer`]
+    /// this compiles to exactly [`LinkedMachine::run_parallel`].
+    pub fn run_parallel_traced<T: Tracer>(
+        &mut self,
+        threads: usize,
+        tracer: &mut T,
+    ) -> Result<ExecutionStats, ModelError> {
         let schedule = self.schedule;
         let n = schedule.n;
         let threads = if threads == 0 {
@@ -562,10 +633,21 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
         let bounds = shard_bounds(n, threads);
         let start = Instant::now();
         let mut stats = ExecutionStats::default();
+        let (mut node_sends, mut node_recvs) = if T::ENABLED {
+            (vec![0u64; n], vec![0u64; n])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut ops_since_round = 0u64;
 
         for step in &schedule.steps {
             match step {
                 LinkedStep::Comm { transfers, step } => {
+                    let round_start = if T::ENABLED {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
                     let ts = &schedule.transfers[transfers.clone()];
                     // Read phase (parallel, immutable stores).
                     let slots = &self.slots;
@@ -635,9 +717,20 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                             });
                         }
                     });
-                    stats.rounds += 1;
-                    stats.messages += ts.len();
-                    stats.busiest_round = stats.busiest_round.max(ts.len());
+                    stats.record_round(ts.len());
+                    if T::ENABLED {
+                        for t in ts {
+                            node_sends[t.src as usize] += 1;
+                            node_recvs[t.dst as usize] += 1;
+                        }
+                        tracer.round(RoundEvent {
+                            index: (stats.rounds - 1) as u64,
+                            messages: ts.len() as u64,
+                            local_ops: ops_since_round,
+                            nanos: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                        });
+                        ops_since_round = 0;
+                    }
                 }
                 LinkedStep::Compute { ops, step } => {
                     let ops_all = &schedule.ops[ops.clone()];
@@ -671,8 +764,15 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                     });
                     results.into_iter().collect::<Result<(), ModelError>>()?;
                     stats.local_ops += ops_all.len();
+                    tracer.counter("run.local_ops", ops_all.len() as u64);
+                    if T::ENABLED {
+                        ops_since_round += ops_all.len() as u64;
+                    }
                 }
             }
+        }
+        if T::ENABLED {
+            tracer.node_loads(&node_sends, &node_recvs);
         }
         stats.elapsed = start.elapsed();
         Ok(stats)

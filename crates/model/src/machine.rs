@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use lowband_trace::{NoopTracer, RoundEvent, Tracer};
+
 use crate::schedule::{LocalOp, Merge, Step};
 use crate::{Key, ModelError, NodeId, Schedule, Semiring};
 
@@ -69,6 +71,19 @@ impl<V: Semiring> Machine<V> {
     /// failure the machine state is left as of the failing step (useful for
     /// debugging, never relied on by algorithms).
     pub fn run(&mut self, schedule: &Schedule) -> Result<ExecutionStats, ModelError> {
+        self.run_traced(schedule, &mut NoopTracer)
+    }
+
+    /// [`Machine::run`] with an instrumentation sink: emits one
+    /// [`RoundEvent`] per communication round (messages delivered, local
+    /// ops since the previous round, wall time), a `run.local_ops` counter
+    /// per compute step, and per-node send/receive loads at the end. With
+    /// [`NoopTracer`] this compiles to exactly [`Machine::run`].
+    pub fn run_traced<T: Tracer>(
+        &mut self,
+        schedule: &Schedule,
+        tracer: &mut T,
+    ) -> Result<ExecutionStats, ModelError> {
         if schedule.n() != self.n() {
             return Err(ModelError::SizeMismatch {
                 expected: schedule.n(),
@@ -79,9 +94,23 @@ impl<V: Semiring> Machine<V> {
         let mut stats = ExecutionStats::default();
         let cap = schedule.capacity() as u32;
         let mut inbox: Vec<(NodeId, Key, Merge, V)> = Vec::new();
+        // Per-node load tallies and the ops-since-last-round count only
+        // exist for real sinks; `T::ENABLED` is const, so the disabled
+        // branches fold away entirely.
+        let (mut node_sends, mut node_recvs) = if T::ENABLED {
+            (vec![0u64; self.n()], vec![0u64; self.n()])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut ops_since_round = 0u64;
         for (step_idx, step) in schedule.steps().iter().enumerate() {
             match step {
                 Step::Comm(round) => {
+                    let round_start = if T::ENABLED {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
                     self.stamp += 1;
                     let stamp = self.stamp;
                     inbox.clear();
@@ -126,6 +155,10 @@ impl<V: Semiring> Machine<V> {
                                 step: step_idx,
                             },
                         )?;
+                        if T::ENABLED {
+                            node_sends[si] += 1;
+                            node_recvs[di] += 1;
+                        }
                         inbox.push((t.dst, t.dst_key, t.merge, payload));
                     }
                     // Write phase: deliver.
@@ -141,17 +174,31 @@ impl<V: Semiring> Machine<V> {
                             }
                         }
                     }
-                    stats.rounds += 1;
-                    stats.messages += round.transfers.len();
-                    stats.busiest_round = stats.busiest_round.max(round.transfers.len());
+                    stats.record_round(round.transfers.len());
+                    if T::ENABLED {
+                        tracer.round(RoundEvent {
+                            index: (stats.rounds - 1) as u64,
+                            messages: round.transfers.len() as u64,
+                            local_ops: ops_since_round,
+                            nanos: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                        });
+                        ops_since_round = 0;
+                    }
                 }
                 Step::Compute(ops) => {
                     for op in ops {
                         self.apply_local(*op, step_idx)?;
                         stats.local_ops += 1;
                     }
+                    tracer.counter("run.local_ops", ops.len() as u64);
+                    if T::ENABLED {
+                        ops_since_round += ops.len() as u64;
+                    }
                 }
             }
+        }
+        if T::ENABLED {
+            tracer.node_loads(&node_sends, &node_recvs);
         }
         stats.elapsed = start.elapsed();
         Ok(stats)
@@ -344,7 +391,7 @@ mod tests {
         let stats = m.run(&s).unwrap();
         assert_eq!(stats.rounds, 2);
         assert_eq!(stats.messages, 3);
-        assert_eq!(stats.busiest_round, 2);
+        assert_eq!(stats.max_round_messages, 2);
         assert_eq!(m.get(NodeId(2), Key::tmp(0, 0)), Some(&Nat(5)));
         // Added twice starting from absent (=zero).
         assert_eq!(m.get(NodeId(0), Key::tmp(0, 1)), Some(&Nat(6)));

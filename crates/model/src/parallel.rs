@@ -20,6 +20,8 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use lowband_trace::{NoopTracer, RoundEvent, Tracer};
+
 use crate::schedule::{LocalOp, Merge, Step};
 use crate::{ExecutionStats, Key, ModelError, NodeId, Schedule, Semiring};
 
@@ -272,6 +274,19 @@ impl<V: Semiring> ParallelMachine<V> {
     /// Execute a schedule in parallel; final stores are identical to the
     /// sequential [`crate::Machine`].
     pub fn run(&mut self, schedule: &Schedule) -> Result<ExecutionStats, ModelError> {
+        self.run_traced(schedule, &mut NoopTracer)
+    }
+
+    /// [`ParallelMachine::run`] with an instrumentation sink; same event
+    /// stream as [`crate::Machine::run_traced`] (one [`RoundEvent`] per
+    /// round, `run.local_ops` per compute step, per-node loads at the
+    /// end). With [`NoopTracer`] this compiles to exactly
+    /// [`ParallelMachine::run`].
+    pub fn run_traced<T: Tracer>(
+        &mut self,
+        schedule: &Schedule,
+        tracer: &mut T,
+    ) -> Result<ExecutionStats, ModelError> {
         if schedule.n() != self.n() {
             return Err(ModelError::SizeMismatch {
                 expected: schedule.n(),
@@ -285,10 +300,21 @@ impl<V: Semiring> ParallelMachine<V> {
         let mut stats = ExecutionStats::default();
         let mut send_count = vec![0u32; n];
         let mut recv_count = vec![0u32; n];
+        let (mut node_sends, mut node_recvs) = if T::ENABLED {
+            (vec![0u64; n], vec![0u64; n])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut ops_since_round = 0u64;
 
         for (step_idx, step) in schedule.steps().iter().enumerate() {
             match step {
                 Step::Comm(round) => {
+                    let round_start = if T::ENABLED {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
                     // Validation (sequential; cheap).
                     send_count.iter_mut().for_each(|c| *c = 0);
                     recv_count.iter_mut().for_each(|c| *c = 0);
@@ -311,6 +337,10 @@ impl<V: Semiring> ParallelMachine<V> {
                                 round: stats.rounds,
                                 node: t.dst,
                             });
+                        }
+                        if T::ENABLED {
+                            node_sends[t.src.index()] += 1;
+                            node_recvs[t.dst.index()] += 1;
                         }
                     }
 
@@ -357,9 +387,16 @@ impl<V: Semiring> ParallelMachine<V> {
                     }
                     self.sharded_apply(sharded, step_idx)?;
 
-                    stats.rounds += 1;
-                    stats.messages += round.transfers.len();
-                    stats.busiest_round = stats.busiest_round.max(round.transfers.len());
+                    stats.record_round(round.transfers.len());
+                    if T::ENABLED {
+                        tracer.round(RoundEvent {
+                            index: (stats.rounds - 1) as u64,
+                            messages: round.transfers.len() as u64,
+                            local_ops: ops_since_round,
+                            nanos: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                        });
+                        ops_since_round = 0;
+                    }
                 }
                 Step::Compute(ops) => {
                     let mut sharded: Vec<Vec<WorkItem<V>>> =
@@ -373,8 +410,15 @@ impl<V: Semiring> ParallelMachine<V> {
                     }
                     self.sharded_apply(sharded, step_idx)?;
                     stats.local_ops += ops.len();
+                    tracer.counter("run.local_ops", ops.len() as u64);
+                    if T::ENABLED {
+                        ops_since_round += ops.len() as u64;
+                    }
                 }
             }
+        }
+        if T::ENABLED {
+            tracer.node_loads(&node_sends, &node_recvs);
         }
         stats.elapsed = start.elapsed();
         Ok(stats)

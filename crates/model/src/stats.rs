@@ -14,7 +14,7 @@ use crate::Schedule;
 /// Cost accounting of one execution.
 ///
 /// Equality ignores [`ExecutionStats::elapsed`]: the model-level costs
-/// (rounds, messages, busiest round, local ops) are deterministic functions
+/// (rounds, messages, fullest round, local ops) are deterministic functions
 /// of the schedule and must agree bit-for-bit across executors, while
 /// wall-clock time is a property of the machine running the simulation.
 #[derive(Clone, Copy, Debug, Default)]
@@ -23,8 +23,9 @@ pub struct ExecutionStats {
     pub rounds: usize,
     /// Total messages delivered.
     pub messages: usize,
-    /// Largest number of messages in any single round.
-    pub busiest_round: usize,
+    /// Messages in the fullest round (same measure as
+    /// [`ScheduleStats::max_round_messages`]).
+    pub max_round_messages: usize,
     /// Local ops executed (free in the model; reported for interest).
     pub local_ops: usize,
     /// Wall-clock time of the execution (not part of equality).
@@ -32,20 +33,27 @@ pub struct ExecutionStats {
 }
 
 impl ExecutionStats {
+    /// Account one communication round of `messages` deliveries. Every
+    /// executor (and [`Schedule::stats`]) funnels round accounting through
+    /// here so the three round-derived fields can never drift apart.
+    #[inline]
+    pub fn record_round(&mut self, messages: usize) {
+        self.rounds += 1;
+        self.messages += messages;
+        self.max_round_messages = self.max_round_messages.max(messages);
+    }
+
     /// Total simulated events: messages delivered plus local ops executed.
     pub fn events(&self) -> usize {
         self.messages + self.local_ops
     }
 
-    /// Executor throughput in events per wall-clock second (0.0 when the
-    /// execution was too fast to time).
-    pub fn events_per_sec(&self) -> f64 {
+    /// Executor throughput in events per wall-clock second; `None` when
+    /// the execution was too fast for the clock to resolve (a 0.0 or
+    /// infinite rate would be noise, not data).
+    pub fn events_per_sec(&self) -> Option<f64> {
         let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.events() as f64 / secs
-        } else {
-            0.0
-        }
+        (secs > 0.0).then(|| self.events() as f64 / secs)
     }
 }
 
@@ -53,7 +61,7 @@ impl PartialEq for ExecutionStats {
     fn eq(&self, other: &Self) -> bool {
         self.rounds == other.rounds
             && self.messages == other.messages
-            && self.busiest_round == other.busiest_round
+            && self.max_round_messages == other.max_round_messages
             && self.local_ops == other.local_ops
     }
 }
@@ -120,12 +128,21 @@ impl Schedule {
                 Step::Comm(_) => 0,
             })
             .sum();
-        let rounds = self.rounds();
-        let messages = self.messages();
+        // Fold the histogram through the same accumulator the executors
+        // use, so schedule-level and execution-level round accounting are
+        // one code path.
+        let mut acc = ExecutionStats::default();
+        for &m in &hist {
+            acc.record_round(m);
+        }
+        debug_assert_eq!(acc.rounds, self.rounds());
+        debug_assert_eq!(acc.messages, self.messages());
+        let rounds = acc.rounds;
+        let messages = acc.messages;
         ScheduleStats {
             rounds,
             messages,
-            max_round_messages: hist.iter().copied().max().unwrap_or(0),
+            max_round_messages: acc.max_round_messages,
             mean_round_messages: if rounds == 0 {
                 0.0
             } else {
@@ -198,5 +215,121 @@ mod tests {
         let (sends, recvs) = s.node_load();
         assert_eq!(sends, vec![2, 0, 0]);
         assert_eq!(recvs, vec![0, 1, 1]);
+    }
+
+    /// A transfer between distinct `(node, key)` slots, for capacity tests
+    /// that need several messages touching one node in one round.
+    fn xfer_keyed(src: u32, sk: u64, dst: u32, dk: u64) -> Transfer {
+        Transfer {
+            src: NodeId(src),
+            src_key: Key::tmp(0, sk),
+            dst: NodeId(dst),
+            dst_key: Key::tmp(0, dk),
+            merge: Merge::Overwrite,
+        }
+    }
+
+    #[test]
+    fn stats_at_capacity_two() {
+        // Node-capacitated clique (§1.5 generalization): node 0 sends two
+        // messages in round 1, node 3 receives two in round 2. The load
+        // profile and fullest-round measure must count messages, not
+        // distinct nodes.
+        let mut b = ScheduleBuilder::with_capacity(4, 2);
+        b.round(vec![xfer_keyed(0, 0, 1, 10), xfer_keyed(0, 1, 2, 11)])
+            .unwrap();
+        b.round(vec![
+            xfer_keyed(1, 2, 3, 12),
+            xfer_keyed(2, 3, 3, 13),
+            xfer_keyed(0, 4, 1, 14),
+        ])
+        .unwrap();
+        let s = b.build();
+        assert_eq!(s.round_histogram(), vec![2, 3]);
+        let (sends, recvs) = s.node_load();
+        assert_eq!(sends, vec![3, 1, 1, 0]);
+        assert_eq!(recvs, vec![0, 2, 1, 2]);
+        let stats = s.stats();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.messages, 5);
+        assert_eq!(stats.max_round_messages, 3);
+        assert_eq!(stats.max_node_sends, 3);
+        assert_eq!(stats.max_node_recvs, 2);
+        // Utilization denominator is rounds · n, independent of capacity.
+        assert!((stats.utilization - 5.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_survive_compression_with_hazard_round_at_capacity_two() {
+        // Round 2 is a two-node swap: each side's source key is the other
+        // side's destination, so the compressor must place the round
+        // atomically (read-barrier semantics) rather than pipelining it.
+        let swap = |a: u32, b: u32| Transfer {
+            src: NodeId(a),
+            src_key: Key::tmp(0, a as u64),
+            dst: NodeId(b),
+            dst_key: Key::tmp(0, b as u64),
+            merge: Merge::Overwrite,
+        };
+        let mut b = ScheduleBuilder::with_capacity(4, 2);
+        b.round(vec![xfer_keyed(2, 20, 3, 21), xfer_keyed(2, 22, 3, 23)])
+            .unwrap();
+        b.round(vec![swap(0, 1), swap(1, 0)]).unwrap();
+        b.round(vec![xfer_keyed(3, 23, 2, 24)]).unwrap();
+        let s = b.build();
+        let c = crate::compress(&s);
+
+        // The hazard round survives as a round; total load is preserved.
+        let stats = s.stats();
+        let cstats = c.stats();
+        assert_eq!(cstats.messages, stats.messages);
+        assert!(cstats.rounds <= stats.rounds);
+        assert!(cstats.rounds >= 1);
+        assert!(cstats.max_round_messages >= stats.max_round_messages);
+        assert!(cstats.max_round_messages <= 2 * c.capacity());
+        // Per-node totals are invariant under rescheduling.
+        assert_eq!(c.node_load(), s.node_load());
+        assert_eq!(
+            c.round_histogram().iter().sum::<usize>(),
+            s.round_histogram().iter().sum::<usize>()
+        );
+        // Compression respects the declared capacity in every round.
+        assert_eq!(c.capacity(), 2);
+        let (sends, recvs) = c.node_load();
+        assert!(sends.iter().all(|&x| x <= 2 * cstats.rounds));
+        assert!(recvs.iter().all(|&x| x <= 2 * cstats.rounds));
+    }
+
+    #[test]
+    fn execution_record_round_matches_schedule_stats() {
+        // The shared accumulator: folding the round histogram must
+        // reproduce the ScheduleStats round fields exactly.
+        let mut b = ScheduleBuilder::with_capacity(3, 3);
+        b.round(vec![xfer_keyed(0, 0, 1, 1), xfer_keyed(0, 2, 2, 3)])
+            .unwrap();
+        b.round(vec![xfer_keyed(1, 1, 2, 4)]).unwrap();
+        let s = b.build();
+        let mut acc = crate::ExecutionStats::default();
+        for m in s.round_histogram() {
+            acc.record_round(m);
+        }
+        let stats = s.stats();
+        assert_eq!(acc.rounds, stats.rounds);
+        assert_eq!(acc.messages, stats.messages);
+        assert_eq!(acc.max_round_messages, stats.max_round_messages);
+    }
+
+    #[test]
+    fn events_per_sec_is_none_below_clock_resolution() {
+        let mut stats = crate::ExecutionStats {
+            messages: 100,
+            local_ops: 50,
+            ..Default::default()
+        };
+        assert_eq!(stats.events(), 150);
+        assert_eq!(stats.events_per_sec(), None, "zero elapsed → no rate");
+        stats.elapsed = std::time::Duration::from_millis(10);
+        let rate = stats.events_per_sec().expect("timed run has a rate");
+        assert!((rate - 15_000.0).abs() < 1e-6);
     }
 }

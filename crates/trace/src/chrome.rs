@@ -1,0 +1,223 @@
+//! Chrome `trace_event` sink: phase spans on a timeline.
+//!
+//! Produces the JSON object format consumed by `chrome://tracing` and
+//! Perfetto: `{"traceEvents": [...]}` with duration events (`"ph": "B"` /
+//! `"ph": "E"`) whose `ts` is microseconds since the sink was created.
+//! Spans land on the current *track* — one `tid` per [`Tracer::track`]
+//! call — so a multi-algorithm benchmark renders as parallel named rows.
+//! Counters, histograms, and round events are aggregate data and are
+//! ignored here; pair the sink with a
+//! [`MetricsRegistry`](crate::MetricsRegistry) to keep them.
+
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::Tracer;
+
+#[derive(Clone, Debug)]
+struct Event {
+    phase: char, // 'B' or 'E'
+    name: &'static str,
+    tid: u64,
+    micros: u64,
+}
+
+/// A [`Tracer`] sink that records spans as Chrome trace events.
+#[derive(Debug)]
+pub struct ChromeTraceSink {
+    epoch: Instant,
+    events: Vec<Event>,
+    /// Track names, index = tid. Track 0 is the default "pipeline" row.
+    tracks: Vec<String>,
+    current_tid: u64,
+}
+
+impl Default for ChromeTraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTraceSink {
+    /// A sink whose timestamps start now.
+    pub fn new() -> Self {
+        ChromeTraceSink {
+            epoch: Instant::now(),
+            events: Vec::new(),
+            tracks: vec!["pipeline".to_string()],
+            current_tid: 0,
+        }
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Number of recorded span events (B + E).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no span was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Build the `{"traceEvents": [...]}` document: one `thread_name`
+    /// metadata event per track, then every span event in record order.
+    pub fn to_json(&self) -> Json {
+        let mut events = Vec::with_capacity(self.tracks.len() + self.events.len());
+        for (tid, name) in self.tracks.iter().enumerate() {
+            events.push(
+                Json::obj()
+                    .set("ph", "M")
+                    .set("name", "thread_name")
+                    .set("pid", 0u64)
+                    .set("tid", tid as u64)
+                    .set("args", Json::obj().set("name", name.as_str())),
+            );
+        }
+        for e in &self.events {
+            events.push(
+                Json::obj()
+                    .set("ph", e.phase.to_string())
+                    .set("name", e.name)
+                    .set("cat", "lowband")
+                    .set("pid", 0u64)
+                    .set("tid", e.tid)
+                    .set("ts", e.micros),
+            );
+        }
+        Json::obj().set("traceEvents", Json::Arr(events))
+    }
+
+    /// The trace serialized ready for `chrome://tracing` → Load.
+    pub fn write_json(&self) -> String {
+        self.to_json().to_pretty()
+    }
+}
+
+impl Tracer for ChromeTraceSink {
+    fn span_enter(&mut self, name: &'static str) {
+        let micros = self.now_micros();
+        self.events.push(Event {
+            phase: 'B',
+            name,
+            tid: self.current_tid,
+            micros,
+        });
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        let micros = self.now_micros();
+        self.events.push(Event {
+            phase: 'E',
+            name,
+            tid: self.current_tid,
+            micros,
+        });
+    }
+
+    #[inline]
+    fn counter(&mut self, _name: &'static str, _delta: u64) {}
+
+    #[inline]
+    fn histogram(&mut self, _name: &'static str, _value: u64) {}
+
+    #[inline]
+    fn round(&mut self, _event: crate::RoundEvent) {}
+
+    #[inline]
+    fn node_loads(&mut self, _sends: &[u64], _recvs: &[u64]) {}
+
+    fn track(&mut self, name: &str) {
+        // Reuse an existing track of the same name, else open a new row.
+        match self.tracks.iter().position(|t| t == name) {
+            Some(tid) => self.current_tid = tid as u64,
+            None => {
+                self.current_tid = self.tracks.len() as u64;
+                self.tracks.push(name.to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn spans_become_balanced_be_events() {
+        let mut sink = ChromeTraceSink::new();
+        sink.span_enter("compile");
+        sink.span_exit("compile");
+        sink.track("run-0");
+        sink.span_enter("run");
+        sink.span_enter("round");
+        sink.span_exit("round");
+        sink.span_exit("run");
+
+        let doc = json::parse(&sink.write_json()).expect("trace parses");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 tracks ("pipeline", "run-0") → 2 metadata + 6 span events.
+        assert_eq!(events.len(), 8);
+
+        let mut depth = 0i64;
+        for e in events {
+            match e.get("ph").unwrap().as_str().unwrap() {
+                "B" => depth += 1,
+                "E" => {
+                    depth -= 1;
+                    assert!(depth >= 0, "E before matching B");
+                }
+                "M" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced B/E events");
+    }
+
+    #[test]
+    fn tracks_map_to_tids() {
+        let mut sink = ChromeTraceSink::new();
+        sink.track("alg-a");
+        sink.span_enter("run");
+        sink.span_exit("run");
+        sink.track("alg-b");
+        sink.span_enter("run");
+        sink.span_exit("run");
+        sink.track("alg-a"); // revisit reuses the tid
+        sink.span_enter("verify");
+        sink.span_exit("verify");
+
+        let doc = sink.to_json();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let tid_of = |name: &str, ph: &str| -> u64 {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("name").unwrap().as_str() == Some(name)
+                        && e.get("ph").unwrap().as_str() == Some(ph)
+                })
+                .unwrap()
+                .get("tid")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        assert_ne!(tid_of("run", "B"), 0, "track() should leave tid 0");
+        assert_eq!(tid_of("verify", "B"), tid_of("run", "B"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let mut sink = ChromeTraceSink::new();
+        for _ in 0..3 {
+            sink.span_enter("x");
+            sink.span_exit("x");
+        }
+        let ts: Vec<u64> = sink.events.iter().map(|e| e.micros).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -99,7 +99,10 @@ fn round_accounting_matches_schedule() {
     let stats = m.run(&schedule).unwrap();
     assert_eq!(stats.rounds, schedule.rounds());
     assert_eq!(stats.messages, schedule.messages());
-    assert!(stats.busiest_round <= n, "at most one message in per node");
+    assert!(
+        stats.max_round_messages <= n,
+        "at most one message in per node"
+    );
 }
 
 #[test]
