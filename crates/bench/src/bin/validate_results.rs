@@ -11,7 +11,11 @@
 //! contains no artifacts at all (so CI fails loudly when generation was
 //! skipped). `LOWBAND_RESULTS_DIR` overrides the directory.
 
-use lowband_bench::report::{results_dir, validate_artifact};
+use lowband_bench::report::{results_dir, validate_artifact, validate_required_sections};
+
+/// Required sections for artifacts with a known schema; files not listed
+/// here only get the generic envelope check.
+const KNOWN: &[(&str, &[&str])] = &[("recovery", &["checkpoint_overhead", "recovery_cost"])];
 
 fn main() {
     let dir = results_dir();
@@ -31,7 +35,15 @@ fn main() {
     paths.sort();
     for path in paths {
         checked += 1;
-        match validate_artifact(&path) {
+        let required = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|stem| KNOWN.iter().find(|(name, _)| *name == stem))
+            .map_or(&[][..], |(_, sections)| sections);
+        match validate_artifact(&path).and_then(|n| {
+            validate_required_sections(&path, required)?;
+            Ok(n)
+        }) {
             Ok(sections) => println!("ok   {} ({sections} sections)", path.display()),
             Err(msg) => {
                 failed += 1;

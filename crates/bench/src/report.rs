@@ -122,6 +122,25 @@ pub fn validate_artifact(path: &Path) -> Result<usize, String> {
     Ok(sections.len())
 }
 
+/// Check that an artifact carries every section in `required`, on top of the
+/// envelope checks of [`validate_artifact`]. Used by `validate_results` for
+/// artifacts whose schema is known, so a bin that silently stops emitting a
+/// section fails CI instead of shipping a hollow file.
+pub fn validate_required_sections(path: &Path, required: &[&str]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = lowband_trace::json::parse(&text).map_err(|e| e.to_string())?;
+    let sections = doc
+        .get("sections")
+        .and_then(|v| v.as_object())
+        .ok_or("missing \"sections\" object")?;
+    for key in required {
+        if !sections.iter().any(|(k, _)| k == key) {
+            return Err(format!("missing required section \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
 /// Format an optional throughput for the text tables: `"n/a"` when the
 /// run was below clock resolution.
 pub fn format_rate(rate: Option<f64>) -> String {

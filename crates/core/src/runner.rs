@@ -8,7 +8,10 @@
 
 use lowband_matrix::algebra::SampleElement;
 use lowband_matrix::{reference_multiply, SparseMatrix};
-use lowband_model::{ModelError, NoopTracer, Semiring, Tracer};
+use lowband_model::faults::Fault;
+use lowband_model::{
+    ExecutionStats, FaultSpec, ModelError, NoopTracer, RunWindow, Semiring, Tracer,
+};
 use rand::SeedableRng;
 
 use crate::algorithms::{
@@ -117,6 +120,167 @@ pub fn run_algorithm_traced<S: Semiring + SampleElement, T: Tracer>(
         triangles: ts_len,
         correct,
         events_per_sec: stats.events_per_sec(),
+    })
+}
+
+/// When to checkpoint and when to give up during a fault-injected run.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Checkpoint every `k` communication rounds (0 is treated as 1).
+    pub checkpoint_every: usize,
+    /// Give up after this many detected failures.
+    pub max_attempts: usize,
+    /// Give up once the *cumulative* replayed rounds exceed
+    /// `base_round_budget << (failures − 1)` — the budget doubles with
+    /// every failure, so a burst of early faults doesn't strand a long run
+    /// while a genuinely hopeless run still terminates.
+    pub base_round_budget: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            checkpoint_every: 32,
+            max_attempts: 10,
+            base_round_budget: 64,
+        }
+    }
+}
+
+/// The outcome of one [`run_resilient`] call: the verified report plus the
+/// recovery accounting.
+#[derive(Clone, Debug)]
+pub struct ResilientReport {
+    /// The usual verified run outcome.
+    pub report: RunReport,
+    /// Executor statistics of the *completed* run (replays excluded from
+    /// `rounds`; fault counters filled in).
+    pub stats: ExecutionStats,
+    /// Detected failures that forced a rollback.
+    pub failures: usize,
+    /// Rounds re-executed across all rollbacks.
+    pub replayed_rounds: usize,
+    /// Checkpoints taken (the initial post-load snapshot included).
+    pub checkpoints: usize,
+    /// The faults the plan injected, in plan order — identical for every
+    /// executor and every run with the same spec.
+    pub fault_log: Vec<Fault>,
+}
+
+/// [`run_algorithm`] under a deterministic fault plan: executes in
+/// checkpointed windows, rolls back and replays on every detected fault,
+/// and verifies the final product against the sequential reference.
+pub fn run_resilient<S: Semiring + SampleElement>(
+    inst: &Instance,
+    algorithm: Algorithm,
+    seed: u64,
+    spec: &FaultSpec,
+    policy: RetryPolicy,
+) -> Result<ResilientReport, ModelError> {
+    run_resilient_traced::<S, _>(inst, algorithm, seed, spec, policy, &mut NoopTracer)
+}
+
+/// [`run_resilient`] with an instrumentation sink: the usual pipeline spans
+/// plus the executor's `fault.*` counters and one `fault.recovered` per
+/// rollback.
+///
+/// The run executes on the linked sequential backend in windows of
+/// `policy.checkpoint_every` rounds. A window that ends cleanly is
+/// checkpointed; a window that surfaces [`ModelError::Corruption`] or
+/// [`ModelError::NodeCrashed`] is rolled back to the last checkpoint and
+/// replayed (injected faults are one-shot, so replays make progress). Any
+/// other error — and a fault budget overrun per [`RetryPolicy`] — aborts
+/// with the underlying error.
+pub fn run_resilient_traced<S: Semiring + SampleElement, T: Tracer>(
+    inst: &Instance,
+    algorithm: Algorithm,
+    seed: u64,
+    spec: &FaultSpec,
+    policy: RetryPolicy,
+    tracer: &mut T,
+) -> Result<ResilientReport, ModelError> {
+    tracer.span_enter("compile");
+    let compiled = compile(inst, algorithm);
+    tracer.span_exit("compile");
+    let (ts_len, schedule, modeled) = compiled?;
+    tracer.counter("schedule.rounds", schedule.rounds() as u64);
+    tracer.counter("schedule.messages", schedule.messages() as u64);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
+    let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
+    let linked = lowband_model::link_traced(&schedule, tracer)?;
+    tracer.span_enter("load");
+    let mut machine = inst.load_linked(&a, &b, &linked);
+    tracer.span_exit("load");
+
+    let mut plan = spec.plan(schedule.rounds(), schedule.n());
+    let window_rounds = policy.checkpoint_every.max(1);
+    // The initial checkpoint covers the freshly loaded inputs, so even a
+    // first-round fault rolls back to a complete state.
+    let mut ckpt = machine.checkpoint(0, ExecutionStats::default());
+    let mut checkpoints = 1usize;
+    let mut failures = 0usize;
+    let mut replayed_rounds = 0usize;
+    let mut stats = ExecutionStats::default();
+
+    tracer.span_enter("run");
+    loop {
+        let window = RunWindow::new(ckpt.next_step(), window_rounds);
+        match machine.run_guarded(tracer, &mut plan, window, &mut stats) {
+            Ok(None) => break,
+            Ok(Some(next_step)) => {
+                ckpt = machine.checkpoint(next_step, stats);
+                checkpoints += 1;
+            }
+            Err(e @ (ModelError::Corruption { .. } | ModelError::NodeCrashed { .. })) => {
+                failures += 1;
+                replayed_rounds += stats.rounds - ckpt.stats().rounds;
+                let shift = (failures - 1).min(32) as u32;
+                let budget = policy
+                    .base_round_budget
+                    .checked_shl(shift)
+                    .unwrap_or(usize::MAX);
+                if failures > policy.max_attempts || replayed_rounds > budget {
+                    tracer.span_exit("run");
+                    return Err(e);
+                }
+                machine.restore(&ckpt)?;
+                stats = ckpt.stats();
+                tracer.fault("fault.recovered", stats.rounds as u64);
+            }
+            Err(e) => {
+                tracer.span_exit("run");
+                return Err(e);
+            }
+        }
+    }
+    tracer.span_exit("run");
+
+    // The executors never touch the fault counters (single writer): the
+    // driver owns them, so the totals are consistent with its own log.
+    stats.faults_injected = plan.injected();
+    stats.faults_detected = failures;
+    stats.recoveries = failures;
+
+    tracer.span_enter("verify");
+    let got = inst.extract_x_from(&machine);
+    let want = reference_multiply(&a, &b, &inst.xhat);
+    let correct = got == want;
+    tracer.span_exit("verify");
+    Ok(ResilientReport {
+        report: RunReport {
+            rounds: stats.rounds,
+            messages: stats.messages,
+            modeled_rounds: modeled,
+            triangles: ts_len,
+            correct,
+            events_per_sec: stats.events_per_sec(),
+        },
+        stats,
+        failures,
+        replayed_rounds,
+        checkpoints,
+        fault_log: plan.log(),
     })
 }
 

@@ -45,6 +45,9 @@ impl Semiring for Bool {
     fn mul(&self, rhs: &Self) -> Self {
         Bool(self.0 & rhs.0)
     }
+    fn digest(&self) -> u64 {
+        u64::from(self.0)
+    }
 }
 
 impl SampleElement for Bool {
@@ -96,6 +99,9 @@ impl Semiring for MinPlus {
     }
     fn mul(&self, rhs: &Self) -> Self {
         MinPlus(self.0.saturating_add(rhs.0))
+    }
+    fn digest(&self) -> u64 {
+        self.0
     }
 }
 
@@ -186,6 +192,9 @@ impl Semiring for Fp {
     fn mul(&self, rhs: &Self) -> Self {
         Fp(Fp::mul_raw(self.0, rhs.0))
     }
+    fn digest(&self) -> u64 {
+        self.0
+    }
 }
 
 impl Ring for Fp {
@@ -245,6 +254,9 @@ impl Semiring for Gf2 {
     fn mul(&self, rhs: &Self) -> Self {
         Gf2(self.0 & rhs.0)
     }
+    fn digest(&self) -> u64 {
+        u64::from(self.0)
+    }
 }
 
 impl Ring for Gf2 {
@@ -296,6 +308,9 @@ impl Semiring for Wrap64 {
     }
     fn mul(&self, rhs: &Self) -> Self {
         Wrap64(self.0.wrapping_mul(rhs.0))
+    }
+    fn digest(&self) -> u64 {
+        self.0
     }
 }
 

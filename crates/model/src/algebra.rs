@@ -40,6 +40,25 @@ pub trait Semiring: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static 
     fn try_neg(&self) -> Option<Self> {
         None
     }
+
+    /// A 64-bit digest of the element, folded into the executors' per-round
+    /// rolling checksums for in-flight corruption detection.
+    ///
+    /// The default only distinguishes zero from nonzero — enough to catch
+    /// message *drops* but coarse for corruption. Every concrete algebra in
+    /// this workspace overrides it with its full representation; custom
+    /// types should too, or in-flight corruption may go undetected.
+    fn digest(&self) -> u64 {
+        u64::from(!self.is_zero())
+    }
+
+    /// The perturbed value a fault-injected "corruption" delivers instead
+    /// of `self`. The default adds one. For algebras where `x + 1 = x`
+    /// (e.g. the Boolean semiring's `true`), injected corruption can be a
+    /// no-op — which the checksum then rightly does not flag.
+    fn corrupted(&self) -> Self {
+        self.add(&Self::one())
+    }
 }
 
 /// A commutative ring: a semiring with additive inverses.
@@ -85,6 +104,9 @@ impl Semiring for Nat {
     }
     fn mul(&self, rhs: &Self) -> Self {
         Nat(self.0.saturating_mul(rhs.0))
+    }
+    fn digest(&self) -> u64 {
+        self.0
     }
 }
 

@@ -32,6 +32,22 @@ pub enum ModelError {
         /// What was required.
         what: &'static str,
     },
+    /// The per-round rolling checksum of delivered payloads disagreed with
+    /// the sender-side checksum: at least one message of `round` was lost
+    /// or corrupted in flight. Raised only by fault-guarded runs.
+    Corruption {
+        /// Global round index (resumes included) of the failed round.
+        round: usize,
+    },
+    /// `node` crashed (lost its entire store) at the boundary of `round`.
+    /// Raised only by fault-guarded runs; recovery restores from the last
+    /// checkpoint.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+        /// Global round index at which the crash occurred.
+        round: usize,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -60,6 +76,15 @@ impl std::fmt::Display for ModelError {
                     f,
                     "step {step}: node {node} needs {what} which the value type lacks"
                 )
+            }
+            ModelError::Corruption { round } => {
+                write!(
+                    f,
+                    "round {round}: delivered payloads fail the round checksum (message lost or corrupted)"
+                )
+            }
+            ModelError::NodeCrashed { node, round } => {
+                write!(f, "round {round}: node {node} crashed and lost its store")
             }
         }
     }

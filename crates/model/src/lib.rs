@@ -58,6 +58,7 @@ pub mod key;
 pub mod link;
 pub mod machine;
 pub mod parallel;
+pub mod recovery;
 pub mod schedule;
 pub mod serial;
 pub mod stats;
@@ -69,6 +70,7 @@ pub use key::Key;
 pub use link::{link, link_traced, LinkedMachine, LinkedSchedule};
 pub use machine::{ExecutionStats, Machine};
 pub use parallel::ParallelMachine;
+pub use recovery::{Checkpoint, RunWindow};
 pub use schedule::{LocalOp, Merge, Round, Schedule, ScheduleBuilder, Step, Transfer};
 pub use serial::{read_schedule, write_schedule};
 pub use stats::ScheduleStats;
@@ -77,6 +79,11 @@ pub use stats::ScheduleStats;
 // need a separate dependency edge for the common case.
 pub use lowband_trace as trace;
 pub use lowband_trace::{NoopTracer, Tracer};
+
+// The fault-injection layer, re-exported the same way: executors take any
+// `FaultHook`, and `NoopFaults` keeps the hot paths fault-free.
+pub use lowband_faults as faults;
+pub use lowband_faults::{FaultHook, FaultPlan, FaultSpec, NoopFaults, Tamper};
 
 /// Identifier of a real computer in the network, in `0..n`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]

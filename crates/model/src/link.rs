@@ -30,9 +30,11 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::time::Instant;
 
+use lowband_faults::{mix64, FaultHook, NoopFaults, Tamper};
 use lowband_trace::{NoopTracer, RoundEvent, Tracer};
 
 use crate::parallel::shard_bounds;
+use crate::recovery::{Checkpoint, RunWindow};
 use crate::schedule::{LocalOp, Merge, Round, Step};
 use crate::{ExecutionStats, Key, ModelError, NodeId, Schedule, Semiring};
 
@@ -529,19 +531,78 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
     /// [`NoopTracer`] this compiles to exactly [`LinkedMachine::run`] —
     /// the hash-free hot path stays hash-free and branch-free.
     pub fn run_traced<T: Tracer>(&mut self, tracer: &mut T) -> Result<ExecutionStats, ModelError> {
-        let schedule = self.schedule;
-        let start = Instant::now();
         let mut stats = ExecutionStats::default();
+        self.run_guarded(tracer, &mut NoopFaults, RunWindow::full(), &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Fault-guarded, windowed variant of [`LinkedMachine::run_traced`];
+    /// same contract as [`crate::Machine::run_guarded`]. Because linking
+    /// produces exactly one step per source step, `window.start_step` and
+    /// the returned resume cursor are **source**-schedule step indices —
+    /// checkpoints are interchangeable with the reference executors.
+    /// The parallel backend ([`LinkedMachine::run_parallel`]) intentionally
+    /// has no guarded variant; drive fault experiments through this one.
+    pub fn run_guarded<T: Tracer, F: FaultHook>(
+        &mut self,
+        tracer: &mut T,
+        faults: &mut F,
+        window: RunWindow,
+        stats: &mut ExecutionStats,
+    ) -> Result<Option<usize>, ModelError> {
+        let start = Instant::now();
+        let result = self.run_window(tracer, faults, window, stats);
+        stats.elapsed += start.elapsed();
+        result
+    }
+
+    fn run_window<T: Tracer, F: FaultHook>(
+        &mut self,
+        tracer: &mut T,
+        faults: &mut F,
+        window: RunWindow,
+        stats: &mut ExecutionStats,
+    ) -> Result<Option<usize>, ModelError> {
+        let schedule = self.schedule;
         let mut inbox: Vec<V> = Vec::new();
+        // Surviving transfer indices for the write phase of fault runs
+        // (drops leave holes, so `ts.iter().zip(inbox)` would misalign).
+        let mut keep: Vec<usize> = Vec::new();
         let (mut node_sends, mut node_recvs) = if T::ENABLED {
             (vec![0u64; schedule.n], vec![0u64; schedule.n])
         } else {
             (Vec::new(), Vec::new())
         };
         let mut ops_since_round = 0u64;
-        for step in &schedule.steps {
-            match step {
+        let mut window_rounds = 0usize;
+        let first = window.start_step.min(schedule.steps.len());
+        for lstep in &schedule.steps[first..] {
+            match lstep {
                 LinkedStep::Comm { transfers, step } => {
+                    if F::ENABLED {
+                        if window_rounds == window.max_rounds {
+                            if T::ENABLED {
+                                tracer.node_loads(&node_sends, &node_recvs);
+                            }
+                            return Ok(Some(*step));
+                        }
+                        window_rounds += 1;
+                        if let Some(victim) = faults.crash(stats.rounds) {
+                            if (victim as usize) < schedule.n {
+                                if T::ENABLED {
+                                    tracer.fault("fault.injected.crash", stats.rounds as u64);
+                                }
+                                self.slots[victim as usize]
+                                    .iter_mut()
+                                    .for_each(|cell| *cell = None);
+                                self.extra[victim as usize].clear();
+                                return Err(ModelError::NodeCrashed {
+                                    node: NodeId(victim),
+                                    round: stats.rounds,
+                                });
+                            }
+                        }
+                    }
                     let round_start = if T::ENABLED {
                         Some(Instant::now())
                     } else {
@@ -552,19 +613,62 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                     // so that delivery within a round is simultaneous.
                     inbox.clear();
                     inbox.reserve(ts.len());
-                    for t in ts {
-                        let v = self.slots[t.src as usize][t.src_slot as usize]
+                    let (mut sent_sum, mut recv_sum) = (0u64, 0u64);
+                    if F::ENABLED {
+                        keep.clear();
+                    }
+                    for (i, t) in ts.iter().enumerate() {
+                        let mut v = self.slots[t.src as usize][t.src_slot as usize]
                             .clone()
                             .ok_or_else(|| schedule.missing(t.src, t.src_slot, *step))?;
+                        if F::ENABLED {
+                            sent_sum = sent_sum.wrapping_add(mix64(v.digest()));
+                            match faults.tamper(stats.rounds, t.src) {
+                                Tamper::None => {}
+                                Tamper::Drop => {
+                                    if T::ENABLED {
+                                        tracer.fault("fault.injected.drop", stats.rounds as u64);
+                                    }
+                                    continue;
+                                }
+                                Tamper::Corrupt => {
+                                    if T::ENABLED {
+                                        tracer.fault("fault.injected.corrupt", stats.rounds as u64);
+                                    }
+                                    v = v.corrupted();
+                                }
+                            }
+                            recv_sum = recv_sum.wrapping_add(mix64(v.digest()));
+                            keep.push(i);
+                        }
                         inbox.push(v);
                     }
                     // Write phase: deliver.
-                    for (t, payload) in ts.iter().zip(inbox.drain(..)) {
-                        deliver(
-                            &mut self.slots[t.dst as usize][t.dst_slot as usize],
-                            t.merge,
-                            payload,
-                        );
+                    if F::ENABLED {
+                        for (&i, payload) in keep.iter().zip(inbox.drain(..)) {
+                            let t = &ts[i];
+                            deliver(
+                                &mut self.slots[t.dst as usize][t.dst_slot as usize],
+                                t.merge,
+                                payload,
+                            );
+                        }
+                        if sent_sum != recv_sum {
+                            if T::ENABLED {
+                                tracer.fault("fault.detected", stats.rounds as u64);
+                            }
+                            return Err(ModelError::Corruption {
+                                round: stats.rounds,
+                            });
+                        }
+                    } else {
+                        for (t, payload) in ts.iter().zip(inbox.drain(..)) {
+                            deliver(
+                                &mut self.slots[t.dst as usize][t.dst_slot as usize],
+                                t.merge,
+                                payload,
+                            );
+                        }
                     }
                     stats.record_round(ts.len());
                     if T::ENABLED {
@@ -597,8 +701,47 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
         if T::ENABLED {
             tracer.node_loads(&node_sends, &node_recvs);
         }
-        stats.elapsed = start.elapsed();
-        Ok(stats)
+        Ok(None)
+    }
+
+    /// Snapshot machine state into an executor-independent [`Checkpoint`]
+    /// (stores in canonical hash-map form, so it restores onto any backend).
+    pub fn checkpoint(&self, next_step: usize, stats: ExecutionStats) -> Checkpoint<V> {
+        let stores = (0..self.n())
+            .map(|i| self.snapshot(NodeId(i as u32)))
+            .collect();
+        Checkpoint::new(next_step, stats, stores)
+    }
+
+    /// Restore every store from a [`Checkpoint`] taken on any executor
+    /// backend of the same network size. Keys the linked schedule never
+    /// mentions land back in the side map, exactly as [`LinkedMachine::load`]
+    /// places them.
+    pub fn restore(&mut self, ckpt: &Checkpoint<V>) -> Result<(), ModelError> {
+        if ckpt.n() != self.n() {
+            return Err(ModelError::SizeMismatch {
+                expected: ckpt.n(),
+                actual: self.n(),
+            });
+        }
+        self.reset();
+        for (i, saved) in ckpt.stores().iter().enumerate() {
+            for (key, value) in saved {
+                self.load(NodeId(i as u32), *key, value.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Empty every slot and side map, returning the machine to its
+    /// freshly-constructed state.
+    pub fn reset(&mut self) {
+        for slots in &mut self.slots {
+            slots.iter_mut().for_each(|cell| *cell = None);
+        }
+        for extra in &mut self.extra {
+            extra.clear();
+        }
     }
 
     /// Execute the linked schedule across worker threads; `threads = 0`

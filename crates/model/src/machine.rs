@@ -3,8 +3,10 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use lowband_faults::{mix64, FaultHook, NoopFaults, Tamper};
 use lowband_trace::{NoopTracer, RoundEvent, Tracer};
 
+use crate::recovery::{Checkpoint, RunWindow};
 use crate::schedule::{LocalOp, Merge, Step};
 use crate::{Key, ModelError, NodeId, Schedule, Semiring};
 
@@ -68,8 +70,9 @@ impl<V: Semiring> Machine<V> {
     }
 
     /// Execute a schedule. On success returns the cost accounting; on
-    /// failure the machine state is left as of the failing step (useful for
-    /// debugging, never relied on by algorithms).
+    /// failure the machine state is left as of the failing step — call
+    /// [`Machine::reset`] (or [`Machine::restore`] with an earlier
+    /// [`Checkpoint`]) to reuse the machine afterwards.
     pub fn run(&mut self, schedule: &Schedule) -> Result<ExecutionStats, ModelError> {
         self.run_traced(schedule, &mut NoopTracer)
     }
@@ -84,6 +87,42 @@ impl<V: Semiring> Machine<V> {
         schedule: &Schedule,
         tracer: &mut T,
     ) -> Result<ExecutionStats, ModelError> {
+        let mut stats = ExecutionStats::default();
+        self.run_guarded(
+            schedule,
+            tracer,
+            &mut NoopFaults,
+            RunWindow::full(),
+            &mut stats,
+        )?;
+        Ok(stats)
+    }
+
+    /// The full-control entry point behind [`Machine::run_traced`]: executes
+    /// the schedule steps of `window`, querying `faults` at every round
+    /// boundary and message, accumulating into `stats` (pass the stats of
+    /// the checkpoint being resumed; the round index handed to the fault
+    /// hook is `stats.rounds`, so it stays global across windows).
+    ///
+    /// Returns `Ok(None)` when the schedule completed, or `Ok(Some(step))`
+    /// when the window's round budget was exhausted — `step` is the resume
+    /// cursor to checkpoint. On an injected crash the victim's store is
+    /// wiped and the run aborts with [`ModelError::NodeCrashed`]; a
+    /// lost/corrupted message fails the round's payload checksum and aborts
+    /// with [`ModelError::Corruption`]. `stats` is valid on every exit path
+    /// (errors included), so drivers can measure replayed work.
+    ///
+    /// All fault bookkeeping is guarded by `F::ENABLED` (a constant): with
+    /// [`NoopFaults`] and a full window this compiles to exactly
+    /// [`Machine::run_traced`].
+    pub fn run_guarded<T: Tracer, F: FaultHook>(
+        &mut self,
+        schedule: &Schedule,
+        tracer: &mut T,
+        faults: &mut F,
+        window: RunWindow,
+        stats: &mut ExecutionStats,
+    ) -> Result<Option<usize>, ModelError> {
         if schedule.n() != self.n() {
             return Err(ModelError::SizeMismatch {
                 expected: schedule.n(),
@@ -91,21 +130,62 @@ impl<V: Semiring> Machine<V> {
             });
         }
         let start = Instant::now();
-        let mut stats = ExecutionStats::default();
+        let result = self.run_window(schedule, tracer, faults, window, stats);
+        stats.elapsed += start.elapsed();
+        result
+    }
+
+    fn run_window<T: Tracer, F: FaultHook>(
+        &mut self,
+        schedule: &Schedule,
+        tracer: &mut T,
+        faults: &mut F,
+        window: RunWindow,
+        stats: &mut ExecutionStats,
+    ) -> Result<Option<usize>, ModelError> {
         let cap = schedule.capacity() as u32;
         let mut inbox: Vec<(NodeId, Key, Merge, V)> = Vec::new();
         // Per-node load tallies and the ops-since-last-round count only
         // exist for real sinks; `T::ENABLED` is const, so the disabled
-        // branches fold away entirely.
+        // branches fold away entirely. The same applies to every fault
+        // branch under `F::ENABLED`.
         let (mut node_sends, mut node_recvs) = if T::ENABLED {
             (vec![0u64; self.n()], vec![0u64; self.n()])
         } else {
             (Vec::new(), Vec::new())
         };
         let mut ops_since_round = 0u64;
-        for (step_idx, step) in schedule.steps().iter().enumerate() {
+        let mut window_rounds = 0usize;
+        let steps = schedule.steps();
+        let first = window.start_step.min(steps.len());
+        for (offset, step) in steps[first..].iter().enumerate() {
+            let step_idx = first + offset;
             match step {
                 Step::Comm(round) => {
+                    if F::ENABLED {
+                        if window_rounds == window.max_rounds {
+                            if T::ENABLED {
+                                tracer.node_loads(&node_sends, &node_recvs);
+                            }
+                            return Ok(Some(step_idx));
+                        }
+                        window_rounds += 1;
+                        if let Some(victim) = faults.crash(stats.rounds) {
+                            let victim = NodeId(victim);
+                            // Targets outside the network (a plan generated
+                            // for a different n) are ignored, never a panic.
+                            if victim.index() < self.n() {
+                                if T::ENABLED {
+                                    tracer.fault("fault.injected.crash", stats.rounds as u64);
+                                }
+                                self.stores[victim.index()].clear();
+                                return Err(ModelError::NodeCrashed {
+                                    node: victim,
+                                    round: stats.rounds,
+                                });
+                            }
+                        }
+                    }
                     let round_start = if T::ENABLED {
                         Some(Instant::now())
                     } else {
@@ -115,6 +195,11 @@ impl<V: Semiring> Machine<V> {
                     let stamp = self.stamp;
                     inbox.clear();
                     inbox.reserve(round.transfers.len());
+                    // Commutative rolling checksums of the payloads as sent
+                    // vs. as delivered: order-independent (wrapping sum of
+                    // mixed digests), so every executor backend computes the
+                    // same value for the same round.
+                    let (mut sent_sum, mut recv_sum) = (0u64, 0u64);
                     // Read phase: gather all payloads and validate the
                     // bandwidth constraint before any store is mutated, so
                     // that delivery within a round is simultaneous.
@@ -148,16 +233,36 @@ impl<V: Semiring> Machine<V> {
                                 node: t.dst,
                             });
                         }
-                        let payload = self.stores[t.src.index()].get(&t.src_key).cloned().ok_or(
-                            ModelError::MissingValue {
+                        let mut payload = self.stores[t.src.index()]
+                            .get(&t.src_key)
+                            .cloned()
+                            .ok_or(ModelError::MissingValue {
                                 node: t.src,
                                 key: t.src_key,
                                 step: step_idx,
-                            },
-                        )?;
+                            })?;
                         if T::ENABLED {
                             node_sends[si] += 1;
                             node_recvs[di] += 1;
+                        }
+                        if F::ENABLED {
+                            sent_sum = sent_sum.wrapping_add(mix64(payload.digest()));
+                            match faults.tamper(stats.rounds, t.src.0) {
+                                Tamper::None => {}
+                                Tamper::Drop => {
+                                    if T::ENABLED {
+                                        tracer.fault("fault.injected.drop", stats.rounds as u64);
+                                    }
+                                    continue;
+                                }
+                                Tamper::Corrupt => {
+                                    if T::ENABLED {
+                                        tracer.fault("fault.injected.corrupt", stats.rounds as u64);
+                                    }
+                                    payload = payload.corrupted();
+                                }
+                            }
+                            recv_sum = recv_sum.wrapping_add(mix64(payload.digest()));
                         }
                         inbox.push((t.dst, t.dst_key, t.merge, payload));
                     }
@@ -173,6 +278,14 @@ impl<V: Semiring> Machine<V> {
                                 *entry = entry.add(&payload);
                             }
                         }
+                    }
+                    if F::ENABLED && sent_sum != recv_sum {
+                        if T::ENABLED {
+                            tracer.fault("fault.detected", stats.rounds as u64);
+                        }
+                        return Err(ModelError::Corruption {
+                            round: stats.rounds,
+                        });
                     }
                     stats.record_round(round.transfers.len());
                     if T::ENABLED {
@@ -200,8 +313,37 @@ impl<V: Semiring> Machine<V> {
         if T::ENABLED {
             tracer.node_loads(&node_sends, &node_recvs);
         }
-        stats.elapsed = start.elapsed();
-        Ok(stats)
+        Ok(None)
+    }
+
+    /// Snapshot machine state into an executor-independent [`Checkpoint`]
+    /// that resumes at `next_step` with the given accumulated `stats`.
+    pub fn checkpoint(&self, next_step: usize, stats: ExecutionStats) -> Checkpoint<V> {
+        Checkpoint::new(next_step, stats, self.stores.clone())
+    }
+
+    /// Restore every store from a [`Checkpoint`] (taken on *any* executor
+    /// backend of the same network size). Fails with
+    /// [`ModelError::SizeMismatch`] if the sizes differ.
+    pub fn restore(&mut self, ckpt: &Checkpoint<V>) -> Result<(), ModelError> {
+        if ckpt.n() != self.n() {
+            return Err(ModelError::SizeMismatch {
+                expected: ckpt.n(),
+                actual: self.n(),
+            });
+        }
+        for (store, saved) in self.stores.iter_mut().zip(ckpt.stores()) {
+            store.clone_from(saved);
+        }
+        Ok(())
+    }
+
+    /// Clear every store, returning the machine to its freshly-constructed
+    /// state so it can be reloaded and reused after a failed run.
+    pub fn reset(&mut self) {
+        for store in &mut self.stores {
+            store.clear();
+        }
     }
 
     /// Clone of the full key–value store at `node` (for equivalence tests
@@ -211,6 +353,13 @@ impl<V: Semiring> Machine<V> {
     }
 
     fn apply_local(&mut self, op: LocalOp, step: usize) -> Result<(), ModelError> {
+        // Schedules built by `ScheduleBuilder` can't name out-of-range
+        // nodes, but deserialized or hand-built ones can — surface those as
+        // a model error, never an index panic.
+        let node = op.node();
+        if node.index() >= self.n() {
+            return Err(ModelError::NodeOutOfRange { node, n: self.n() });
+        }
         match op {
             LocalOp::Mul {
                 node,

@@ -20,8 +20,10 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use lowband_faults::{mix64, FaultHook, NoopFaults, Tamper};
 use lowband_trace::{NoopTracer, RoundEvent, Tracer};
 
+use crate::recovery::{Checkpoint, RunWindow};
 use crate::schedule::{LocalOp, Merge, Step};
 use crate::{ExecutionStats, Key, ModelError, NodeId, Schedule, Semiring};
 
@@ -287,17 +289,53 @@ impl<V: Semiring> ParallelMachine<V> {
         schedule: &Schedule,
         tracer: &mut T,
     ) -> Result<ExecutionStats, ModelError> {
+        let mut stats = ExecutionStats::default();
+        self.run_guarded(
+            schedule,
+            tracer,
+            &mut NoopFaults,
+            RunWindow::full(),
+            &mut stats,
+        )?;
+        Ok(stats)
+    }
+
+    /// Fault-guarded, windowed variant of [`ParallelMachine::run_traced`];
+    /// same contract as [`crate::Machine::run_guarded`]. Fault decisions are
+    /// made in the sequential shard-assembly loop (schedule transfer order),
+    /// so a given plan injects the **same faults** here as on the
+    /// sequential executor.
+    pub fn run_guarded<T: Tracer, F: FaultHook>(
+        &mut self,
+        schedule: &Schedule,
+        tracer: &mut T,
+        faults: &mut F,
+        window: RunWindow,
+        stats: &mut ExecutionStats,
+    ) -> Result<Option<usize>, ModelError> {
         if schedule.n() != self.n() {
             return Err(ModelError::SizeMismatch {
                 expected: schedule.n(),
                 actual: self.n(),
             });
         }
+        let start = Instant::now();
+        let result = self.run_window(schedule, tracer, faults, window, stats);
+        stats.elapsed += start.elapsed();
+        result
+    }
+
+    fn run_window<T: Tracer, F: FaultHook>(
+        &mut self,
+        schedule: &Schedule,
+        tracer: &mut T,
+        faults: &mut F,
+        window: RunWindow,
+        stats: &mut ExecutionStats,
+    ) -> Result<Option<usize>, ModelError> {
         let n = self.n();
         let threads = self.threads;
         let cap = schedule.capacity() as u32;
-        let start = Instant::now();
-        let mut stats = ExecutionStats::default();
         let mut send_count = vec![0u32; n];
         let mut recv_count = vec![0u32; n];
         let (mut node_sends, mut node_recvs) = if T::ENABLED {
@@ -306,10 +344,36 @@ impl<V: Semiring> ParallelMachine<V> {
             (Vec::new(), Vec::new())
         };
         let mut ops_since_round = 0u64;
+        let mut window_rounds = 0usize;
+        let steps = schedule.steps();
+        let first = window.start_step.min(steps.len());
 
-        for (step_idx, step) in schedule.steps().iter().enumerate() {
+        for (offset, step) in steps[first..].iter().enumerate() {
+            let step_idx = first + offset;
             match step {
                 Step::Comm(round) => {
+                    if F::ENABLED {
+                        if window_rounds == window.max_rounds {
+                            if T::ENABLED {
+                                tracer.node_loads(&node_sends, &node_recvs);
+                            }
+                            return Ok(Some(step_idx));
+                        }
+                        window_rounds += 1;
+                        if let Some(victim) = faults.crash(stats.rounds) {
+                            let victim = NodeId(victim);
+                            if victim.index() < n {
+                                if T::ENABLED {
+                                    tracer.fault("fault.injected.crash", stats.rounds as u64);
+                                }
+                                self.stores[victim.index()].clear();
+                                return Err(ModelError::NodeCrashed {
+                                    node: victim,
+                                    round: stats.rounds,
+                                });
+                            }
+                        }
+                    }
                     let round_start = if T::ENABLED {
                         Some(Instant::now())
                     } else {
@@ -373,11 +437,34 @@ impl<V: Semiring> ParallelMachine<V> {
                             .collect()
                     });
 
-                    // Write phase (parallel, sharded by destination).
+                    // Write phase (parallel, sharded by destination). Fault
+                    // decisions happen in this sequential loop, which walks
+                    // the transfers in schedule order; the commutative
+                    // checksums mirror the sequential executor's.
+                    let (mut sent_sum, mut recv_sum) = (0u64, 0u64);
                     let mut sharded: Vec<Vec<WorkItem<V>>> =
                         (0..threads).map(|_| Vec::new()).collect();
                     for (t, payload) in transfers.iter().zip(payloads) {
-                        let value = payload?;
+                        let mut value = payload?;
+                        if F::ENABLED {
+                            sent_sum = sent_sum.wrapping_add(mix64(value.digest()));
+                            match faults.tamper(stats.rounds, t.src.0) {
+                                Tamper::None => {}
+                                Tamper::Drop => {
+                                    if T::ENABLED {
+                                        tracer.fault("fault.injected.drop", stats.rounds as u64);
+                                    }
+                                    continue;
+                                }
+                                Tamper::Corrupt => {
+                                    if T::ENABLED {
+                                        tracer.fault("fault.injected.corrupt", stats.rounds as u64);
+                                    }
+                                    value = value.corrupted();
+                                }
+                            }
+                            recv_sum = recv_sum.wrapping_add(mix64(value.digest()));
+                        }
                         sharded[shard_of(t.dst.index(), n, threads)].push(WorkItem::Deliver {
                             node: t.dst.index(),
                             key: t.dst_key,
@@ -386,6 +473,14 @@ impl<V: Semiring> ParallelMachine<V> {
                         });
                     }
                     self.sharded_apply(sharded, step_idx)?;
+                    if F::ENABLED && sent_sum != recv_sum {
+                        if T::ENABLED {
+                            tracer.fault("fault.detected", stats.rounds as u64);
+                        }
+                        return Err(ModelError::Corruption {
+                            round: stats.rounds,
+                        });
+                    }
 
                     stats.record_round(round.transfers.len());
                     if T::ENABLED {
@@ -420,14 +515,41 @@ impl<V: Semiring> ParallelMachine<V> {
         if T::ENABLED {
             tracer.node_loads(&node_sends, &node_recvs);
         }
-        stats.elapsed = start.elapsed();
-        Ok(stats)
+        Ok(None)
     }
 
     /// Clone of the full key–value store at `node` (for equivalence tests
     /// and output extraction).
     pub fn snapshot(&self, node: NodeId) -> HashMap<Key, V> {
         self.stores[node.index()].clone()
+    }
+
+    /// Snapshot machine state into an executor-independent [`Checkpoint`].
+    pub fn checkpoint(&self, next_step: usize, stats: ExecutionStats) -> Checkpoint<V> {
+        Checkpoint::new(next_step, stats, self.stores.clone())
+    }
+
+    /// Restore every store from a [`Checkpoint`] taken on any executor
+    /// backend of the same network size.
+    pub fn restore(&mut self, ckpt: &Checkpoint<V>) -> Result<(), ModelError> {
+        if ckpt.n() != self.n() {
+            return Err(ModelError::SizeMismatch {
+                expected: ckpt.n(),
+                actual: self.n(),
+            });
+        }
+        for (store, saved) in self.stores.iter_mut().zip(ckpt.stores()) {
+            store.clone_from(saved);
+        }
+        Ok(())
+    }
+
+    /// Clear every store, returning the machine to its freshly-constructed
+    /// state.
+    pub fn reset(&mut self) {
+        for store in &mut self.stores {
+            store.clear();
+        }
     }
 }
 

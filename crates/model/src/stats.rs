@@ -28,6 +28,13 @@ pub struct ExecutionStats {
     pub max_round_messages: usize,
     /// Local ops executed (free in the model; reported for interest).
     pub local_ops: usize,
+    /// Faults injected by the fault plan driving this run (0 for plain
+    /// runs; set by `run_resilient`-style drivers, which own the plan).
+    pub faults_injected: usize,
+    /// Injected faults the per-round checksums / crash reporting caught.
+    pub faults_detected: usize,
+    /// Checkpoint restores performed to complete the run.
+    pub recoveries: usize,
     /// Wall-clock time of the execution (not part of equality).
     pub elapsed: Duration,
 }
@@ -63,6 +70,9 @@ impl PartialEq for ExecutionStats {
             && self.messages == other.messages
             && self.max_round_messages == other.max_round_messages
             && self.local_ops == other.local_ops
+            && self.faults_injected == other.faults_injected
+            && self.faults_detected == other.faults_detected
+            && self.recoveries == other.recoveries
     }
 }
 

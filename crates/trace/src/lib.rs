@@ -97,6 +97,18 @@ pub trait Tracer {
     /// Switch the logical track subsequent spans belong to (one track
     /// per algorithm run in the Chrome sink; ignored by default).
     fn track(&mut self, _name: &str) {}
+
+    /// One fault-layer event observed by a fault-guarded executor run:
+    /// `counter` names the event (`"fault.injected.drop"`,
+    /// `"fault.injected.corrupt"`, `"fault.injected.crash"`,
+    /// `"fault.detected"`, `"fault.recovered"`), `round` is the global
+    /// round index it occurred at. The default decomposes into the named
+    /// counter plus a `fault.round` histogram, so aggregate sinks need no
+    /// special handling.
+    fn fault(&mut self, counter: &'static str, round: u64) {
+        self.counter(counter, 1);
+        self.histogram("fault.round", round);
+    }
 }
 
 /// The zero-cost sink: every method is an empty inlined body and
@@ -128,6 +140,9 @@ impl Tracer for NoopTracer {
 
     #[inline(always)]
     fn track(&mut self, _name: &str) {}
+
+    #[inline(always)]
+    fn fault(&mut self, _counter: &'static str, _round: u64) {}
 }
 
 /// `&mut T` forwards, so callers can lend a sink down the pipeline.
@@ -167,6 +182,11 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline]
     fn track(&mut self, name: &str) {
         (**self).track(name);
+    }
+
+    #[inline]
+    fn fault(&mut self, counter: &'static str, round: u64) {
+        (**self).fault(counter, round);
     }
 }
 
@@ -216,6 +236,12 @@ impl<A: Tracer, B: Tracer> Tracer for (A, B) {
         self.0.track(name);
         self.1.track(name);
     }
+
+    #[inline]
+    fn fault(&mut self, counter: &'static str, round: u64) {
+        self.0.fault(counter, round);
+        self.1.fault(counter, round);
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +270,19 @@ mod tests {
         });
         assert_eq!(pair.0.counter_value("x"), Some(2));
         assert_eq!(pair.1.counter_value("run.messages"), Some(3));
+    }
+
+    #[test]
+    fn fault_decomposes_into_counter_and_histogram() {
+        let mut m = MetricsRegistry::new();
+        m.fault("fault.injected.drop", 3);
+        m.fault("fault.injected.drop", 9);
+        m.fault("fault.detected", 9);
+        assert_eq!(m.counter_value("fault.injected.drop"), Some(2));
+        assert_eq!(m.counter_value("fault.detected"), Some(1));
+        let h = m.histogram_stats("fault.round").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, 9);
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   classifier;
 //! * [`lower`] — the lower bounds as executable artifacts: Boolean-function
 //!   degree, broadcast affection bound, routing gadgets with an
-//!   information-counting certifier, and the dense-packing reduction.
+//!   information-counting certifier, and the dense-packing reduction;
+//! * [`faults`] — deterministic fault injection (message drops, value
+//!   corruption, node crashes), per-round integrity checksums, and the
+//!   checkpoint/rollback machinery behind
+//!   [`core::run_resilient`](lowband_core::run_resilient).
 //!
 //! ## Quick start
 //!
@@ -46,6 +50,7 @@
 //! ```
 
 pub use lowband_core as core;
+pub use lowband_faults as faults;
 pub use lowband_lower as lower;
 pub use lowband_matrix as matrix;
 pub use lowband_model as model;
