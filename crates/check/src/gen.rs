@@ -1,43 +1,52 @@
-//! Cross-executor equivalence: the hash-map reference machine, the sharded
-//! parallel machine and the linked slot-store machine (sequential and
-//! parallel) must produce **identical** final stores and identical model
-//! statistics on arbitrary schedules.
+//! Seeded generation of random valid schedules for the differential
+//! fuzzer.
 //!
-//! Schedules are generated randomly but validly: the generator tracks which
-//! keys are live on each node so every transfer and local-op read hits a
-//! value, while Free/Zero/Copy churn keeps the stores from being static.
+//! The generator tracks which keys are live on each node so every strict
+//! read (transfer source, local-op factor) hits a value, keeps each round
+//! within the capacity bound by construction, and never aims two writes at
+//! one `(node, key)` in the same round — so every generated schedule lints
+//! clean of errors ([`crate::lint_schedule`]) and executes without
+//! `MissingValue` failures. `Free`/`Zero`/`Copy` churn keeps the stores
+//! from being static.
 
 use std::collections::HashSet;
 
-use lowband::model::algebra::Nat;
-use lowband::model::{
-    link, Key, LinkedMachine, LocalOp, Machine, Merge, NodeId, ParallelMachine, Schedule,
-    ScheduleBuilder, Transfer,
-};
+use lowband_model::{Key, LocalOp, Merge, NodeId, Schedule, ScheduleBuilder, Transfer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-#[cfg(feature = "proptest-tests")]
-const CASES: u64 = 48;
-#[cfg(not(feature = "proptest-tests"))]
-const CASES: u64 = 16;
-
 /// Keys every node starts out holding.
-const POOL: u64 = 6;
+pub const POOL: u64 = 6;
 
-fn pool_key(k: u64) -> Key {
+/// The `k`-th pool key (`k < POOL`).
+pub fn pool_key(k: u64) -> Key {
     Key::tmp(1, k)
 }
 
-/// Build a random valid schedule plus the initial loads it assumes.
-///
-/// Returns `(schedule, loads)` where `loads` lists `(node, key, value)`
-/// triples to place before running.
-fn random_schedule(
-    rng: &mut StdRng,
-    n: usize,
-    capacity: usize,
-) -> (Schedule, Vec<(u32, Key, u64)>) {
+/// The preloaded-key predicate matching [`GeneratedCase::loads`]: the pool
+/// keys are loaded on every node before execution. Pass to
+/// [`crate::LintOptions::with_preloaded`] when linting generated
+/// schedules.
+pub fn pool_preloaded(_node: NodeId, key: Key) -> bool {
+    (0..POOL).any(|k| pool_key(k) == key)
+}
+
+/// One generated fuzz case: a valid schedule plus the initial loads it
+/// assumes.
+#[derive(Clone, Debug)]
+pub struct GeneratedCase {
+    /// Network size.
+    pub n: usize,
+    /// Per-round send/receive capacity.
+    pub capacity: usize,
+    /// The schedule.
+    pub schedule: Schedule,
+    /// `(node, key, value)` triples to place before running.
+    pub loads: Vec<(u32, Key, u64)>,
+}
+
+/// Generate a random valid schedule for `n` nodes at the given capacity.
+pub fn generate(rng: &mut StdRng, n: usize, capacity: usize) -> GeneratedCase {
     let mut live: Vec<HashSet<Key>> = vec![(0..POOL).map(pool_key).collect(); n];
     let mut loads = Vec::new();
     for node in 0..n as u32 {
@@ -60,6 +69,7 @@ fn random_schedule(
             shuffle(rng, &mut dsts);
             let k = rng.gen_range(1..=srcs.len());
             let mut transfers = Vec::new();
+            let mut written: HashSet<(u32, Key)> = HashSet::new();
             for (&src, &dst) in srcs.iter().zip(dsts.iter()).take(k) {
                 let mut candidates: Vec<Key> = live[src as usize].iter().copied().collect();
                 if candidates.is_empty() {
@@ -68,6 +78,12 @@ fn random_schedule(
                 candidates.sort(); // HashSet order is nondeterministic
                 let src_key = candidates[rng.gen_range(0..candidates.len())];
                 let dst_key = pool_key(rng.gen_range(0..POOL));
+                // One write per (node, key) per round: a second write —
+                // with an overwrite in the mix — would make the result
+                // delivery-order dependent, which the linter rejects.
+                if !written.insert((dst, dst_key)) {
+                    continue;
+                }
                 let merge = if rng.gen_range(0..2u32) == 0 {
                     Merge::Overwrite
                 } else {
@@ -82,10 +98,8 @@ fn random_schedule(
                 });
             }
             if !transfers.is_empty() {
-                // Deliveries become readable only after the round: within a
-                // round all reads precede all writes, so marking a dst live
-                // immediately would let a later transfer of the same round
-                // read a value that is not there yet.
+                // Deliveries become readable only after the round: within
+                // a round all reads precede all writes.
                 for t in &transfers {
                     live[t.dst.index()].insert(t.dst_key);
                 }
@@ -160,7 +174,21 @@ fn random_schedule(
             b.compute(ops).expect("compute blocks are unconstrained");
         }
     }
-    (b.build(), loads)
+    GeneratedCase {
+        n,
+        capacity,
+        schedule: b.build(),
+        loads,
+    }
+}
+
+/// Derive network size, capacity, and a schedule from one seed — the
+/// fuzzer's per-seed entry point.
+pub fn generate_for_seed(seed: u64) -> GeneratedCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..12);
+    let capacity = rng.gen_range(1..4);
+    generate(&mut rng, n, capacity)
 }
 
 fn op_dst(op: &LocalOp) -> Option<Key> {
@@ -182,99 +210,29 @@ fn shuffle(rng: &mut StdRng, xs: &mut [u32]) {
     }
 }
 
-/// All four executor configurations agree bit-for-bit: final stores AND the
-/// model-level execution statistics (rounds, messages, busiest round,
-/// local ops — wall-clock time is excluded from stats equality).
-#[test]
-fn executors_agree_on_random_schedules() {
-    for case in 0..CASES {
-        let mut rng = StdRng::seed_from_u64(0xE4EC + case);
-        let n = rng.gen_range(2..12);
-        let capacity = rng.gen_range(1..4);
-        let (schedule, loads) = random_schedule(&mut rng, n, capacity);
-        let linked = link(&schedule).expect("generated schedules are valid");
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{lint_linked, lint_schedule, LintOptions};
 
-        let mut hash: Machine<Nat> = Machine::new(n);
-        let mut sharded: ParallelMachine<Nat> = ParallelMachine::new(n, 3);
-        let mut slot: LinkedMachine<Nat> = LinkedMachine::new(&linked);
-        let mut slot_par: LinkedMachine<Nat> = LinkedMachine::new(&linked);
-        for &(node, key, v) in &loads {
-            hash.load(NodeId(node), key, Nat(v));
-            sharded.load(NodeId(node), key, Nat(v));
-            slot.load(NodeId(node), key, Nat(v));
-            slot_par.load(NodeId(node), key, Nat(v));
-        }
-
-        let s_hash = hash.run(&schedule).expect("reference run");
-        let s_sharded = sharded.run(&schedule).expect("parallel run");
-        let s_slot = slot.run().expect("linked run");
-        let s_slot_par = slot_par.run_parallel(3).expect("linked parallel run");
-
-        assert_eq!(s_hash, s_sharded, "case {case}: sharded stats diverge");
-        assert_eq!(s_hash, s_slot, "case {case}: linked stats diverge");
-        assert_eq!(
-            s_hash, s_slot_par,
-            "case {case}: linked-parallel stats diverge"
-        );
-        assert_eq!(s_hash.rounds, schedule.rounds(), "case {case}");
-        assert_eq!(s_hash.messages, schedule.messages(), "case {case}");
-
-        for node in 0..n as u32 {
-            let want = hash.snapshot(NodeId(node));
-            assert_eq!(
-                want,
-                sharded.snapshot(NodeId(node)),
-                "case {case}: sharded store diverges at node {node}"
-            );
-            assert_eq!(
-                want,
-                slot.snapshot(NodeId(node)),
-                "case {case}: linked store diverges at node {node}"
-            );
-            assert_eq!(
-                want,
-                slot_par.snapshot(NodeId(node)),
-                "case {case}: linked-parallel store diverges at node {node}"
-            );
+    #[test]
+    fn generated_schedules_lint_clean() {
+        for seed in 0..32 {
+            let case = generate_for_seed(seed);
+            let opts = LintOptions::with_preloaded(&pool_preloaded);
+            let report = lint_schedule(&case.schedule, &opts);
+            assert!(report.is_clean(), "seed {seed}: {report}");
+            let linked = lowband_model::link(&case.schedule).expect("valid");
+            let lreport = lint_linked(&case.schedule, &linked);
+            assert!(lreport.is_clean(), "seed {seed} linked: {lreport}");
         }
     }
-}
 
-/// Compression composes with linking: compress(schedule) linked and run on
-/// the slot store matches the original schedule on the reference machine.
-#[test]
-fn compressed_then_linked_still_agrees() {
-    for case in 0..CASES {
-        let mut rng = StdRng::seed_from_u64(0xC0DE + case);
-        let n = rng.gen_range(2..10);
-        let (schedule, loads) = random_schedule(&mut rng, n, 1);
-        let compressed = lowband::model::compress(&schedule);
-        let linked = link(&compressed).expect("compressed schedules are valid");
-
-        let mut hash: Machine<Nat> = Machine::new(n);
-        let mut hash_c: Machine<Nat> = Machine::new(n);
-        let mut slot: LinkedMachine<Nat> = LinkedMachine::new(&linked);
-        for &(node, key, v) in &loads {
-            hash.load(NodeId(node), key, Nat(v));
-            hash_c.load(NodeId(node), key, Nat(v));
-            slot.load(NodeId(node), key, Nat(v));
-        }
-        hash.run(&schedule).expect("reference run");
-        hash_c
-            .run(&compressed)
-            .expect("reference run on compressed");
-        slot.run().expect("linked compressed run");
-        for node in 0..n as u32 {
-            assert_eq!(
-                hash.snapshot(NodeId(node)),
-                hash_c.snapshot(NodeId(node)),
-                "case {case}: compression alone diverges at node {node}"
-            );
-            assert_eq!(
-                hash_c.snapshot(NodeId(node)),
-                slot.snapshot(NodeId(node)),
-                "case {case}: linking the compressed schedule diverges at node {node}"
-            );
-        }
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_for_seed(42);
+        let b = generate_for_seed(42);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.loads, b.loads);
     }
 }

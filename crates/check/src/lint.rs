@@ -1,0 +1,924 @@
+//! The static schedule linter.
+//!
+//! [`lint_schedule`] walks a [`Schedule`]'s steps and checks every model
+//! invariant that is decidable from the plan alone (no values needed):
+//! per-round send/receive capacity, node ranges, strict-read liveness,
+//! same-round read-after-overwrite and write-write hazards, and the
+//! schedule's declared round/message totals. [`lint_linked`] then checks a
+//! [`LinkedSchedule`] against its source: step counts and indices, per-step
+//! event counts, slot bounds, and slot↔key interning agreement.
+//!
+//! Liveness needs to know which keys the runtime loads before execution
+//! starts; [`LintOptions::preloaded`] supplies that predicate. The default
+//! treats every `A` and `B` matrix key as preloaded — exactly what
+//! `Instance::load` provides the compiled pipelines.
+
+use std::collections::{HashMap, HashSet};
+
+use lowband_model::key::KeyKind;
+use lowband_model::{
+    Key, LinkedOp, LinkedSchedule, LinkedStepView, LinkedTransfer, LocalOp, Merge, NodeId,
+    Schedule, Step, Transfer,
+};
+use lowband_trace::Tracer;
+
+use crate::report::{CheckError, CheckReport};
+
+/// What the linter may assume about runtime state before step 0.
+pub struct LintOptions<'a> {
+    /// `preloaded(node, key)` is `true` when the runtime loads `key` into
+    /// `node`'s store before execution. Reads of preloaded keys are always
+    /// live; everything else must be written by an earlier event.
+    pub preloaded: &'a dyn Fn(NodeId, Key) -> bool,
+}
+
+impl Default for LintOptions<'_> {
+    /// Assume the `A` and `B` matrix keys are preloaded everywhere — the
+    /// contract of `Instance::load` for compiled pipelines.
+    fn default() -> LintOptions<'static> {
+        LintOptions {
+            preloaded: &|_, key| matches!(key.kind(), KeyKind::A | KeyKind::B),
+        }
+    }
+}
+
+impl<'a> LintOptions<'a> {
+    /// Lint with the given preloaded-key predicate.
+    pub fn with_preloaded(preloaded: &'a dyn Fn(NodeId, Key) -> bool) -> LintOptions<'a> {
+        LintOptions { preloaded }
+    }
+}
+
+/// Per-node liveness state threaded through the walk.
+struct Liveness<'a> {
+    live: Vec<HashSet<Key>>,
+    preloaded: &'a dyn Fn(NodeId, Key) -> bool,
+}
+
+impl Liveness<'_> {
+    fn new<'a>(n: usize, opts: &LintOptions<'a>) -> Liveness<'a> {
+        Liveness {
+            live: vec![HashSet::new(); n],
+            preloaded: opts.preloaded,
+        }
+    }
+
+    fn is_live(&self, node: NodeId, key: Key) -> bool {
+        self.live[node.index()].contains(&key) || (self.preloaded)(node, key)
+    }
+
+    fn write(&mut self, node: NodeId, key: Key) {
+        self.live[node.index()].insert(key);
+    }
+
+    fn free(&mut self, node: NodeId, key: Key) {
+        self.live[node.index()].remove(&key);
+    }
+}
+
+/// Strict reads of a local op: the keys whose absence is a runtime
+/// `MissingValue` error (accumulator destinations read as zero and are not
+/// listed; `BlockMulAdd` reads everything as zero).
+fn strict_reads(op: &LocalOp) -> Vec<Key> {
+    match *op {
+        LocalOp::Mul { lhs, rhs, .. } | LocalOp::MulAdd { lhs, rhs, .. } => vec![lhs, rhs],
+        LocalOp::AddAssign { src, .. }
+        | LocalOp::SubAssign { src, .. }
+        | LocalOp::Copy { src, .. } => vec![src],
+        LocalOp::BlockMulAdd { .. } | LocalOp::Zero { .. } | LocalOp::Free { .. } => vec![],
+    }
+}
+
+/// Keys a local op writes (makes live).
+fn writes(op: &LocalOp) -> Vec<Key> {
+    match *op {
+        LocalOp::Mul { dst, .. }
+        | LocalOp::AddAssign { dst, .. }
+        | LocalOp::MulAdd { dst, .. }
+        | LocalOp::SubAssign { dst, .. }
+        | LocalOp::Copy { dst, .. }
+        | LocalOp::Zero { dst, .. } => vec![dst],
+        LocalOp::BlockMulAdd { dim, c_ns, .. } => {
+            let d = dim as u64;
+            (0..d * d).map(|i| Key::tmp(c_ns, i)).collect()
+        }
+        LocalOp::Free { .. } => vec![],
+    }
+}
+
+fn check_node(report: &mut CheckReport, step: usize, node: NodeId, n: usize) -> bool {
+    if node.index() >= n {
+        report.push(CheckError::NodeOutOfRange { step, node, n });
+        return false;
+    }
+    true
+}
+
+/// Lint one communication round. Reads happen before writes, so liveness
+/// is consulted against the pre-round state and destinations become live
+/// only after the whole round is processed.
+fn lint_round(
+    report: &mut CheckReport,
+    live: &mut Liveness<'_>,
+    transfers: &[Transfer],
+    step: usize,
+    round: usize,
+    n: usize,
+    capacity: usize,
+) {
+    let mut sends: HashMap<NodeId, usize> = HashMap::new();
+    let mut recvs: HashMap<NodeId, usize> = HashMap::new();
+    // (dst, dst_key) → (write count, any Overwrite).
+    let mut writes_to: HashMap<(NodeId, Key), (usize, bool)> = HashMap::new();
+
+    for t in transfers {
+        let src_ok = check_node(report, step, t.src, n);
+        let dst_ok = check_node(report, step, t.dst, n);
+        if src_ok {
+            *sends.entry(t.src).or_default() += 1;
+            if !live.is_live(t.src, t.src_key) {
+                report.push(CheckError::ReadNeverWritten {
+                    step,
+                    node: t.src,
+                    key: t.src_key,
+                });
+            }
+        }
+        if dst_ok {
+            *recvs.entry(t.dst).or_default() += 1;
+            let e = writes_to.entry((t.dst, t.dst_key)).or_insert((0, false));
+            e.0 += 1;
+            e.1 |= t.merge == Merge::Overwrite;
+        }
+    }
+
+    let mut over_send: Vec<_> = sends.iter().filter(|(_, &c)| c > capacity).collect();
+    over_send.sort_by_key(|(node, _)| **node);
+    for (&node, &count) in over_send {
+        report.push(CheckError::SendOverCapacity {
+            step,
+            round,
+            node,
+            count,
+            capacity,
+        });
+    }
+    let mut over_recv: Vec<_> = recvs.iter().filter(|(_, &c)| c > capacity).collect();
+    over_recv.sort_by_key(|(node, _)| **node);
+    for (&node, &count) in over_recv {
+        report.push(CheckError::ReceiveOverCapacity {
+            step,
+            round,
+            node,
+            count,
+            capacity,
+        });
+    }
+
+    // Same-round read of a key this round also writes: the send carries
+    // the pre-round value (defined, but almost always unintended).
+    for t in transfers {
+        if t.src.index() < n && writes_to.contains_key(&(t.src, t.src_key)) {
+            report.push(CheckError::ReadAfterOverwrite {
+                step,
+                round,
+                node: t.src,
+                key: t.src_key,
+            });
+        }
+    }
+
+    let mut conflicts: Vec<_> = writes_to
+        .iter()
+        .filter(|(_, &(count, any_overwrite))| count > 1 && any_overwrite)
+        .map(|(&(node, key), _)| (node, key))
+        .collect();
+    conflicts.sort();
+    for (node, key) in conflicts {
+        report.push(CheckError::WriteWriteConflict {
+            step,
+            round,
+            node,
+            key,
+        });
+    }
+
+    for t in transfers {
+        if t.dst.index() < n {
+            live.write(t.dst, t.dst_key);
+        }
+    }
+}
+
+/// Lint one compute block. Ops within a block run sequentially on each
+/// node, so liveness updates op by op.
+fn lint_compute(
+    report: &mut CheckReport,
+    live: &mut Liveness<'_>,
+    ops: &[LocalOp],
+    step: usize,
+    n: usize,
+) {
+    for op in ops {
+        let node = op.node();
+        if !check_node(report, step, node, n) {
+            continue;
+        }
+        for key in strict_reads(op) {
+            if !live.is_live(node, key) {
+                report.push(CheckError::ReadNeverWritten { step, node, key });
+            }
+        }
+        if let LocalOp::Free { key, .. } = *op {
+            live.free(node, key);
+        }
+        for key in writes(op) {
+            live.write(node, key);
+        }
+    }
+}
+
+/// Statically verify a schedule against the model invariants. See the
+/// module docs for the checked properties; violations come back typed in a
+/// [`CheckReport`] with step/round/node/key provenance.
+pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions<'_>) -> CheckReport {
+    let mut report = CheckReport::new();
+    let n = schedule.n();
+    let capacity = schedule.capacity();
+    let mut live = Liveness::new(n, opts);
+    let mut rounds = 0usize;
+    let mut messages = 0usize;
+
+    for (step, s) in schedule.steps().iter().enumerate() {
+        match s {
+            Step::Comm(round) => {
+                lint_round(
+                    &mut report,
+                    &mut live,
+                    &round.transfers,
+                    step,
+                    rounds,
+                    n,
+                    capacity,
+                );
+                rounds += 1;
+                messages += round.transfers.len();
+            }
+            Step::Compute(ops) => lint_compute(&mut report, &mut live, ops, step, n),
+        }
+    }
+
+    if rounds != schedule.rounds() {
+        report.push(CheckError::TotalsMismatch {
+            what: "rounds",
+            expected: schedule.rounds(),
+            found: rounds,
+        });
+    }
+    if messages != schedule.messages() {
+        report.push(CheckError::TotalsMismatch {
+            what: "messages",
+            expected: schedule.messages(),
+            found: messages,
+        });
+    }
+    report
+}
+
+/// [`lint_schedule`], also emitting the result as `check.*` counters on a
+/// tracer (inside a `"check.lint"` span).
+pub fn lint_schedule_traced<T: Tracer>(
+    schedule: &Schedule,
+    opts: &LintOptions<'_>,
+    tracer: &mut T,
+) -> CheckReport {
+    tracer.span_enter("check.lint");
+    let report = lint_schedule(schedule, opts);
+    report.emit(tracer);
+    tracer.span_exit("check.lint");
+    report
+}
+
+fn check_slot(
+    report: &mut CheckReport,
+    linked: &LinkedSchedule,
+    step: usize,
+    node: u32,
+    slot: u32,
+) -> bool {
+    let n = linked.n();
+    if (node as usize) >= n {
+        report.push(CheckError::NodeOutOfRange {
+            step,
+            node: NodeId(node),
+            n,
+        });
+        return false;
+    }
+    let slots = linked.slots_at(NodeId(node));
+    if (slot as usize) >= slots {
+        report.push(CheckError::DanglingSlot {
+            step,
+            node: NodeId(node),
+            slot,
+            slots,
+        });
+        return false;
+    }
+    true
+}
+
+/// Check a slot is in range *and* interns the key the source schedule
+/// names at this event.
+fn check_slot_key(
+    report: &mut CheckReport,
+    linked: &LinkedSchedule,
+    step: usize,
+    node: u32,
+    slot: u32,
+    expected: Key,
+) {
+    if !check_slot(report, linked, step, node, slot) {
+        return;
+    }
+    let found = linked.key_of(NodeId(node), slot);
+    if found != expected {
+        report.push(CheckError::SlotKeyMismatch {
+            step,
+            node: NodeId(node),
+            slot,
+            expected,
+            found,
+        });
+    }
+}
+
+fn lint_linked_round(
+    report: &mut CheckReport,
+    linked: &LinkedSchedule,
+    step: usize,
+    src_round: &[Transfer],
+    transfers: &[LinkedTransfer],
+) {
+    if src_round.len() != transfers.len() {
+        report.push(CheckError::TransferCountMismatch {
+            step,
+            schedule_count: src_round.len(),
+            linked_count: transfers.len(),
+        });
+        // Counts disagree: slot checks still apply, key agreement doesn't.
+        for t in transfers {
+            check_slot(report, linked, step, t.src, t.src_slot);
+            check_slot(report, linked, step, t.dst, t.dst_slot);
+        }
+        return;
+    }
+    // Linking stable-sorts a round's transfers by destination node; match
+    // each linked transfer to a not-yet-claimed source transfer with the
+    // same endpoints rather than assuming an order.
+    let mut claimed = vec![false; src_round.len()];
+    for t in transfers {
+        check_slot(report, linked, step, t.src, t.src_slot);
+        check_slot(report, linked, step, t.dst, t.dst_slot);
+        let matched = src_round.iter().enumerate().find(|(i, s)| {
+            !claimed[*i]
+                && s.src.0 == t.src
+                && s.dst.0 == t.dst
+                && s.merge == t.merge
+                && linked.slot_of(s.src, s.src_key) == Some(t.src_slot)
+                && linked.slot_of(s.dst, s.dst_key) == Some(t.dst_slot)
+        });
+        match matched {
+            Some((i, s)) => {
+                claimed[i] = true;
+                check_slot_key(report, linked, step, t.src, t.src_slot, s.src_key);
+                check_slot_key(report, linked, step, t.dst, t.dst_slot, s.dst_key);
+            }
+            None => {
+                // No source transfer interns to this linked one: report it
+                // against whichever key an unclaimed same-endpoint source
+                // names, or fall back to the slot's own interning.
+                let fallback = src_round
+                    .iter()
+                    .enumerate()
+                    .find(|(i, s)| !claimed[*i] && s.src.0 == t.src && s.dst.0 == t.dst);
+                if let Some((i, s)) = fallback {
+                    claimed[i] = true;
+                    check_slot_key(report, linked, step, t.src, t.src_slot, s.src_key);
+                    check_slot_key(report, linked, step, t.dst, t.dst_slot, s.dst_key);
+                } else {
+                    report.push(CheckError::TransferCountMismatch {
+                        step,
+                        schedule_count: src_round.len(),
+                        linked_count: transfers.len(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn lint_linked_op(
+    report: &mut CheckReport,
+    linked: &LinkedSchedule,
+    step: usize,
+    src: &LocalOp,
+    op: &LinkedOp,
+) {
+    let node = op.node();
+    if src.node().0 != node {
+        report.push(CheckError::StepKindMismatch { step });
+        return;
+    }
+    match (*src, *op) {
+        (
+            LocalOp::Mul { dst, lhs, rhs, .. },
+            LinkedOp::Mul {
+                dst: d,
+                lhs: l,
+                rhs: r,
+                ..
+            },
+        )
+        | (
+            LocalOp::MulAdd { dst, lhs, rhs, .. },
+            LinkedOp::MulAdd {
+                dst: d,
+                lhs: l,
+                rhs: r,
+                ..
+            },
+        ) => {
+            check_slot_key(report, linked, step, node, d, dst);
+            check_slot_key(report, linked, step, node, l, lhs);
+            check_slot_key(report, linked, step, node, r, rhs);
+        }
+        (LocalOp::AddAssign { dst, src, .. }, LinkedOp::AddAssign { dst: d, src: s, .. })
+        | (LocalOp::SubAssign { dst, src, .. }, LinkedOp::SubAssign { dst: d, src: s, .. })
+        | (LocalOp::Copy { dst, src, .. }, LinkedOp::Copy { dst: d, src: s, .. }) => {
+            check_slot_key(report, linked, step, node, d, dst);
+            check_slot_key(report, linked, step, node, s, src);
+        }
+        (LocalOp::Zero { dst, .. }, LinkedOp::Zero { dst: d, .. }) => {
+            check_slot_key(report, linked, step, node, d, dst);
+        }
+        (LocalOp::Free { key, .. }, LinkedOp::Free { slot, .. }) => {
+            check_slot_key(report, linked, step, node, slot, key);
+        }
+        (
+            LocalOp::BlockMulAdd {
+                dim,
+                a_ns,
+                b_ns,
+                c_ns,
+                ..
+            },
+            LinkedOp::BlockMulAdd { block, .. },
+        ) => match linked.block_slots(block) {
+            None => report.push(CheckError::BlockOutOfRange {
+                step,
+                node: NodeId(node),
+                block,
+                blocks: linked.block_count(),
+            }),
+            Some((bdim, a, b, c)) => {
+                if bdim != dim {
+                    report.push(CheckError::StepKindMismatch { step });
+                    return;
+                }
+                let cells = (dim as usize) * (dim as usize);
+                if a.len() != cells || b.len() != cells || c.len() != cells {
+                    report.push(CheckError::StepKindMismatch { step });
+                    return;
+                }
+                for (i, ((&sa, &sb), &sc)) in a.iter().zip(b).zip(c).enumerate() {
+                    let i = i as u64;
+                    check_slot_key(report, linked, step, node, sa, Key::tmp(a_ns, i));
+                    check_slot_key(report, linked, step, node, sb, Key::tmp(b_ns, i));
+                    check_slot_key(report, linked, step, node, sc, Key::tmp(c_ns, i));
+                }
+            }
+        },
+        _ => report.push(CheckError::StepKindMismatch { step }),
+    }
+}
+
+/// Verify a linked schedule against its source: matching totals
+/// (`n`/`capacity`/`rounds`/`messages`), one linked step per source step
+/// with the same index and kind ([`CheckError::StepDrift`]), per-step
+/// transfer/op counts, every slot id in range for its node
+/// ([`CheckError::DanglingSlot`]), and slot↔key interning agreement on
+/// every event ([`CheckError::SlotKeyMismatch`]).
+pub fn lint_linked(schedule: &Schedule, linked: &LinkedSchedule) -> CheckReport {
+    let mut report = CheckReport::new();
+    for (what, expected, found) in [
+        ("n", schedule.n(), linked.n()),
+        ("capacity", schedule.capacity(), linked.capacity()),
+        ("linked rounds", schedule.rounds(), linked.rounds()),
+        ("linked messages", schedule.messages(), linked.messages()),
+    ] {
+        if expected != found {
+            report.push(CheckError::TotalsMismatch {
+                what,
+                expected,
+                found,
+            });
+        }
+    }
+    if schedule.steps().len() != linked.step_count() {
+        report.push(CheckError::StepCountMismatch {
+            schedule_steps: schedule.steps().len(),
+            linked_steps: linked.step_count(),
+        });
+        return report;
+    }
+    for (i, view) in linked.step_views().enumerate() {
+        let found_step = match view {
+            LinkedStepView::Comm { step, .. } | LinkedStepView::Compute { step, .. } => step,
+        };
+        if found_step != i {
+            report.push(CheckError::StepDrift {
+                linked_index: i,
+                expected_step: i,
+                found_step,
+            });
+        }
+        match (&schedule.steps()[i], view) {
+            (Step::Comm(round), LinkedStepView::Comm { transfers, .. }) => {
+                lint_linked_round(&mut report, linked, i, &round.transfers, transfers);
+            }
+            (Step::Compute(src_ops), LinkedStepView::Compute { ops, .. }) => {
+                if src_ops.len() != ops.len() {
+                    report.push(CheckError::OpCountMismatch {
+                        step: i,
+                        schedule_count: src_ops.len(),
+                        linked_count: ops.len(),
+                    });
+                    continue;
+                }
+                // Linking stable-sorts a block's ops by node; recover the
+                // pairing by matching each node's ops in order.
+                let mut next: HashMap<u32, usize> = HashMap::new();
+                for op in ops {
+                    let node = op.node();
+                    let cursor = next.entry(node).or_default();
+                    let src = src_ops.iter().filter(|s| s.node().0 == node).nth(*cursor);
+                    *cursor += 1;
+                    match src {
+                        Some(src) => lint_linked_op(&mut report, linked, i, src, op),
+                        None => report.push(CheckError::OpCountMismatch {
+                            step: i,
+                            schedule_count: src_ops.len(),
+                            linked_count: ops.len(),
+                        }),
+                    }
+                }
+            }
+            _ => report.push(CheckError::StepKindMismatch { step: i }),
+        }
+    }
+    report
+}
+
+/// [`lint_linked`] with `check.*` counter emission (inside a
+/// `"check.lint_linked"` span).
+pub fn lint_linked_traced<T: Tracer>(
+    schedule: &Schedule,
+    linked: &LinkedSchedule,
+    tracer: &mut T,
+) -> CheckReport {
+    tracer.span_enter("check.lint_linked");
+    let report = lint_linked(schedule, linked);
+    report.emit(tracer);
+    tracer.span_exit("check.lint_linked");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_model::{link, ScheduleBuilder};
+
+    fn transfer(src: u32, src_key: Key, dst: u32, dst_key: Key, merge: Merge) -> Transfer {
+        Transfer {
+            src: NodeId(src),
+            src_key,
+            dst: NodeId(dst),
+            dst_key,
+            merge,
+        }
+    }
+
+    /// Everything preloaded: isolates the capacity/hazard checks from
+    /// liveness.
+    fn all_preloaded() -> LintOptions<'static> {
+        LintOptions {
+            preloaded: &|_, _| true,
+        }
+    }
+
+    #[test]
+    fn clean_schedule_is_clean() {
+        let mut b = ScheduleBuilder::new(3);
+        b.round(vec![transfer(0, Key::a(0, 0), 1, Key::x(0, 0), Merge::Add)])
+            .unwrap();
+        b.compute(vec![LocalOp::MulAdd {
+            node: NodeId(1),
+            dst: Key::x(0, 1),
+            lhs: Key::x(0, 0),
+            rhs: Key::b(0, 0),
+        }])
+        .unwrap();
+        let s = b.build();
+        let report = lint_schedule(&s, &LintOptions::default());
+        assert!(report.is_empty(), "{report}");
+        let linked = link(&s).unwrap();
+        assert!(lint_linked(&s, &linked).is_empty());
+    }
+
+    #[test]
+    fn read_of_never_written_key_flagged() {
+        let mut b = ScheduleBuilder::new(2);
+        b.round(vec![transfer(
+            0,
+            Key::tmp(9, 9),
+            1,
+            Key::x(0, 0),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        let s = b.build();
+        let report = lint_schedule(&s, &LintOptions::default());
+        assert!(matches!(
+            report.violations(),
+            [CheckError::ReadNeverWritten { step: 0, node: NodeId(0), key }] if *key == Key::tmp(9, 9)
+        ));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn compute_strict_reads_checked_sequentially() {
+        // Zero makes tmp(0,0) live, so the Copy reading it is fine; the
+        // Mul's rhs is not.
+        let mut b = ScheduleBuilder::new(1);
+        b.compute(vec![
+            LocalOp::Zero {
+                node: NodeId(0),
+                dst: Key::tmp(0, 0),
+            },
+            LocalOp::Copy {
+                node: NodeId(0),
+                dst: Key::tmp(0, 1),
+                src: Key::tmp(0, 0),
+            },
+            LocalOp::Mul {
+                node: NodeId(0),
+                dst: Key::tmp(0, 2),
+                lhs: Key::tmp(0, 1),
+                rhs: Key::tmp(7, 7),
+            },
+        ])
+        .unwrap();
+        let s = b.build();
+        let report = lint_schedule(&s, &LintOptions::default());
+        assert_eq!(report.violations().len(), 1);
+        assert!(matches!(
+            report.violations()[0],
+            CheckError::ReadNeverWritten { key, .. } if key == Key::tmp(7, 7)
+        ));
+    }
+
+    #[test]
+    fn freed_key_no_longer_live() {
+        let mut b = ScheduleBuilder::new(1);
+        b.compute(vec![
+            LocalOp::Zero {
+                node: NodeId(0),
+                dst: Key::tmp(0, 0),
+            },
+            LocalOp::Free {
+                node: NodeId(0),
+                key: Key::tmp(0, 0),
+            },
+            LocalOp::Copy {
+                node: NodeId(0),
+                dst: Key::tmp(0, 1),
+                src: Key::tmp(0, 0),
+            },
+        ])
+        .unwrap();
+        let s = b.build();
+        let report = lint_schedule(&s, &LintOptions::default());
+        assert!(matches!(
+            report.violations(),
+            [CheckError::ReadNeverWritten { .. }]
+        ));
+    }
+
+    #[test]
+    fn read_after_overwrite_is_warning_only() {
+        // Node 1 forwards x(0,0) while simultaneously receiving a new
+        // value for it — defined (old value is sent), but flagged.
+        let mut b = ScheduleBuilder::new(3);
+        b.compute(vec![LocalOp::Zero {
+            node: NodeId(1),
+            dst: Key::x(0, 0),
+        }])
+        .unwrap();
+        b.round(vec![
+            transfer(1, Key::x(0, 0), 2, Key::x(0, 0), Merge::Overwrite),
+            transfer(0, Key::a(0, 0), 1, Key::x(0, 0), Merge::Overwrite),
+        ])
+        .unwrap();
+        let s = b.build();
+        let report = lint_schedule(&s, &LintOptions::default());
+        assert!(matches!(
+            report.violations(),
+            [CheckError::ReadAfterOverwrite {
+                round: 0,
+                node: NodeId(1),
+                ..
+            }]
+        ));
+        assert!(report.is_clean(), "warnings don't fail a lint");
+        assert_eq!(report.warnings().count(), 1);
+    }
+
+    #[test]
+    fn write_write_overwrite_conflict_flagged() {
+        // Capacity 2 lets node 2 legally receive twice; both writes target
+        // the same key and one is an overwrite → order-dependent result.
+        let mut b = ScheduleBuilder::with_capacity(3, 2);
+        b.round(vec![
+            transfer(0, Key::a(0, 0), 2, Key::x(0, 0), Merge::Overwrite),
+            transfer(1, Key::a(1, 0), 2, Key::x(0, 0), Merge::Add),
+        ])
+        .unwrap();
+        let s = b.build();
+        let report = lint_schedule(&s, &LintOptions::default());
+        assert!(matches!(
+            report.violations(),
+            [CheckError::WriteWriteConflict {
+                node: NodeId(2),
+                ..
+            }]
+        ));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn all_add_fanin_is_fine() {
+        let mut b = ScheduleBuilder::with_capacity(3, 2);
+        b.round(vec![
+            transfer(0, Key::a(0, 0), 2, Key::x(0, 0), Merge::Add),
+            transfer(1, Key::a(1, 0), 2, Key::x(0, 0), Merge::Add),
+        ])
+        .unwrap();
+        let s = b.build();
+        assert!(lint_schedule(&s, &LintOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn capacity_respected_not_overreported() {
+        // The builder enforces capacity, so an in-capacity round under
+        // c = 2 must not be flagged.
+        let mut b = ScheduleBuilder::with_capacity(4, 2);
+        b.round(vec![
+            transfer(0, Key::a(0, 0), 1, Key::x(0, 0), Merge::Add),
+            transfer(0, Key::a(0, 1), 2, Key::x(0, 1), Merge::Add),
+            transfer(3, Key::a(3, 0), 1, Key::x(1, 0), Merge::Add),
+        ])
+        .unwrap();
+        let s = b.build();
+        assert!(lint_schedule(&s, &all_preloaded()).is_empty());
+    }
+
+    #[test]
+    fn over_capacity_round_flagged() {
+        // Every public constructor (builder, serial reader) enforces
+        // capacity, so exercise the round checker directly with a raw
+        // transfer list: node 0 sends twice, node 1 receives twice, both
+        // over capacity 1.
+        let raw = vec![
+            transfer(0, Key::a(0, 0), 1, Key::x(0, 0), Merge::Add),
+            transfer(0, Key::a(0, 1), 1, Key::x(0, 1), Merge::Add),
+        ];
+        let opts = all_preloaded();
+        let mut live = Liveness::new(2, &opts);
+        let mut report = CheckReport::new();
+        lint_round(&mut report, &mut live, &raw, 0, 0, 2, 1);
+        let kinds: Vec<_> = report
+            .violations()
+            .iter()
+            .map(|v| v.counter_name())
+            .collect();
+        assert_eq!(
+            kinds,
+            ["check.send_over_capacity", "check.receive_over_capacity"],
+            "{report}"
+        );
+        assert!(matches!(
+            report.violations()[0],
+            CheckError::SendOverCapacity {
+                node: NodeId(0),
+                count: 2,
+                capacity: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn declared_totals_cross_checked() {
+        let mut b = ScheduleBuilder::new(2);
+        b.round(vec![transfer(0, Key::a(0, 0), 1, Key::x(0, 0), Merge::Add)])
+            .unwrap();
+        let good = b.build();
+        // chain() sums totals; chaining with itself keeps them consistent,
+        // so totals stay clean — this is the negative control.
+        let s = good.clone().chain(good).unwrap();
+        let report = lint_schedule(&s, &all_preloaded());
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn linked_form_of_clean_schedule_lints_clean() {
+        let mut b = ScheduleBuilder::with_capacity(4, 2);
+        b.compute(vec![LocalOp::BlockMulAdd {
+            node: NodeId(0),
+            dim: 2,
+            a_ns: 10,
+            b_ns: 11,
+            c_ns: 12,
+        }])
+        .unwrap();
+        b.round(vec![
+            transfer(0, Key::tmp(12, 0), 1, Key::tmp(3, 0), Merge::Overwrite),
+            transfer(0, Key::tmp(12, 1), 2, Key::tmp(3, 1), Merge::Add),
+        ])
+        .unwrap();
+        b.compute(vec![
+            LocalOp::MulAdd {
+                node: NodeId(1),
+                dst: Key::x(0, 0),
+                lhs: Key::tmp(3, 0),
+                rhs: Key::b(0, 0),
+            },
+            LocalOp::Free {
+                node: NodeId(1),
+                key: Key::tmp(3, 0),
+            },
+        ])
+        .unwrap();
+        let s = b.build();
+        let linked = link(&s).unwrap();
+        let report = lint_linked(&s, &linked);
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn linked_totals_mismatch_detected() {
+        let mut b = ScheduleBuilder::new(2);
+        b.round(vec![transfer(0, Key::a(0, 0), 1, Key::x(0, 0), Merge::Add)])
+            .unwrap();
+        let s = b.build();
+        let linked = link(&s).unwrap();
+        // Lint the linked form against a *different* source schedule.
+        let mut b2 = ScheduleBuilder::new(2);
+        b2.round(vec![transfer(0, Key::a(0, 0), 1, Key::x(0, 0), Merge::Add)])
+            .unwrap();
+        b2.round(vec![transfer(1, Key::x(0, 0), 0, Key::x(0, 0), Merge::Add)])
+            .unwrap();
+        let other = b2.build();
+        let report = lint_linked(&other, &linked);
+        assert!(!report.is_clean());
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            CheckError::TotalsMismatch {
+                what: "linked rounds",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn report_emits_counters() {
+        use lowband_trace::metrics::MetricsRegistry;
+        let mut b = ScheduleBuilder::new(2);
+        b.round(vec![transfer(
+            0,
+            Key::tmp(9, 9),
+            1,
+            Key::x(0, 0),
+            Merge::Add,
+        )])
+        .unwrap();
+        let s = b.build();
+        let mut tracer = MetricsRegistry::new();
+        let report = lint_schedule_traced(&s, &LintOptions::default(), &mut tracer);
+        assert_eq!(report.violations().len(), 1);
+        assert_eq!(tracer.counter_value("check.read_never_written"), Some(1));
+        assert_eq!(tracer.counter_value("check.errors"), Some(1));
+        assert_eq!(tracer.counter_value("check.warnings"), Some(0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Greedy minimization of failing differential cases.
+//!
+//! When the fuzzer finds a schedule on which the executors disagree, the
+//! raw case is noisy — dozens of rounds and ops, most irrelevant. The
+//! shrinker reduces it while preserving the failure, in three passes
+//! repeated to a fixed point:
+//!
+//! 1. drop whole steps (largest structural win first),
+//! 2. drop individual transfers / local ops inside the surviving steps,
+//! 3. drop initial loads.
+//!
+//! Every candidate is rebuilt through [`ScheduleBuilder`], so a shrunken
+//! schedule is still structurally valid (capacity, node ranges) even
+//! though its liveness may now be broken — that is fine, because the
+//! failure predicate compares executors against each other, and "all
+//! executors raise the same `MissingValue`" counts as agreement.
+
+use lowband_model::{Key, Round, Schedule, ScheduleBuilder, Step};
+
+/// A minimizable failing case.
+#[derive(Clone, Debug)]
+pub struct ShrunkCase {
+    /// The minimized schedule.
+    pub schedule: Schedule,
+    /// The minimized initial loads.
+    pub loads: Vec<(u32, Key, u64)>,
+}
+
+/// Rebuild a schedule from raw steps; `None` if the steps violate the
+/// model constraints (the candidate is then discarded).
+fn rebuild(n: usize, capacity: usize, steps: &[Step]) -> Option<Schedule> {
+    let mut b = ScheduleBuilder::with_capacity(n, capacity);
+    for step in steps {
+        match step {
+            Step::Comm(Round { transfers }) => b.round(transfers.clone()).ok()?,
+            Step::Compute(ops) => b.compute(ops.clone()).ok()?,
+        }
+    }
+    Some(b.build())
+}
+
+/// Remove elements one at a time while the predicate keeps failing.
+/// `remove(&items, i)` produces the candidate without item `i`; `test`
+/// says whether the candidate still fails.
+fn greedy_drop<T: Clone>(items: &mut Vec<T>, mut test: impl FnMut(&[T]) -> bool) {
+    let mut i = 0;
+    while i < items.len() {
+        let mut candidate = items.clone();
+        candidate.remove(i);
+        if test(&candidate) {
+            *items = candidate;
+            // Re-test from the start: removing one element can make an
+            // earlier one droppable.
+            i = 0;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Minimize `(schedule, loads)` under `failing` (which must return `true`
+/// on the input case). Deterministic: same input, same minimum.
+pub fn shrink(
+    schedule: &Schedule,
+    loads: &[(u32, Key, u64)],
+    mut failing: impl FnMut(&Schedule, &[(u32, Key, u64)]) -> bool,
+) -> ShrunkCase {
+    let n = schedule.n();
+    let capacity = schedule.capacity();
+    let mut steps: Vec<Step> = schedule.steps().to_vec();
+    let mut loads: Vec<(u32, Key, u64)> = loads.to_vec();
+
+    // Iterate the passes to a fixed point: thinning a step can unlock
+    // dropping it entirely, and vice versa.
+    loop {
+        let before = (steps.len(), count_events(&steps), loads.len());
+
+        // Pass 1: whole steps.
+        greedy_drop(&mut steps, |candidate| {
+            rebuild(n, capacity, candidate).is_some_and(|s| failing(&s, &loads))
+        });
+
+        // Pass 2: individual transfers / ops.
+        for idx in 0..steps.len() {
+            match steps[idx].clone() {
+                Step::Comm(Round { mut transfers }) => {
+                    greedy_drop(&mut transfers, |candidate| {
+                        let mut trial = steps.clone();
+                        trial[idx] = Step::Comm(Round {
+                            transfers: candidate.to_vec(),
+                        });
+                        rebuild(n, capacity, &trial).is_some_and(|s| failing(&s, &loads))
+                    });
+                    steps[idx] = Step::Comm(Round { transfers });
+                }
+                Step::Compute(mut ops) => {
+                    greedy_drop(&mut ops, |candidate| {
+                        // The builder elides empty compute blocks, which
+                        // would shift step indices; keep at least one op.
+                        if candidate.is_empty() {
+                            return false;
+                        }
+                        let mut trial = steps.clone();
+                        trial[idx] = Step::Compute(candidate.to_vec());
+                        rebuild(n, capacity, &trial).is_some_and(|s| failing(&s, &loads))
+                    });
+                    steps[idx] = Step::Compute(ops);
+                }
+            }
+        }
+
+        // Pass 3: initial loads.
+        let s = rebuild(n, capacity, &steps).expect("surviving steps are valid");
+        greedy_drop(&mut loads, |candidate| failing(&s, candidate));
+
+        if (steps.len(), count_events(&steps), loads.len()) == before {
+            break;
+        }
+    }
+
+    ShrunkCase {
+        schedule: rebuild(n, capacity, &steps).expect("surviving steps are valid"),
+        loads,
+    }
+}
+
+fn count_events(steps: &[Step]) -> usize {
+    steps
+        .iter()
+        .map(|s| match s {
+            Step::Comm(r) => r.transfers.len(),
+            Step::Compute(ops) => ops.len(),
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_model::{LocalOp, Merge, NodeId, Transfer};
+
+    /// A synthetic "failure": any schedule that still contains a transfer
+    /// into node 2. The shrinker must strip everything else.
+    #[test]
+    fn shrinks_to_the_single_relevant_transfer() {
+        let mut b = ScheduleBuilder::new(4);
+        b.round(vec![
+            Transfer {
+                src: NodeId(0),
+                src_key: Key::tmp(1, 0),
+                dst: NodeId(1),
+                dst_key: Key::tmp(1, 1),
+                merge: Merge::Add,
+            },
+            Transfer {
+                src: NodeId(3),
+                src_key: Key::tmp(1, 0),
+                dst: NodeId(2),
+                dst_key: Key::tmp(1, 2),
+                merge: Merge::Overwrite,
+            },
+        ])
+        .unwrap();
+        b.compute(vec![LocalOp::Zero {
+            node: NodeId(0),
+            dst: Key::tmp(1, 3),
+        }])
+        .unwrap();
+        b.round(vec![Transfer {
+            src: NodeId(1),
+            src_key: Key::tmp(1, 1),
+            dst: NodeId(0),
+            dst_key: Key::tmp(1, 4),
+            merge: Merge::Add,
+        }])
+        .unwrap();
+        let schedule = b.build();
+        let loads = vec![(0, Key::tmp(1, 0), 5), (3, Key::tmp(1, 0), 7)];
+
+        let failing = |s: &Schedule, _loads: &[(u32, Key, u64)]| {
+            s.steps().iter().any(|st| match st {
+                Step::Comm(r) => r.transfers.iter().any(|t| t.dst == NodeId(2)),
+                Step::Compute(_) => false,
+            })
+        };
+        assert!(failing(&schedule, &loads), "precondition");
+        let min = shrink(&schedule, &loads, failing);
+        assert_eq!(min.schedule.steps().len(), 1);
+        assert_eq!(min.schedule.messages(), 1);
+        assert!(min.loads.is_empty());
+    }
+}

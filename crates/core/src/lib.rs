@@ -42,7 +42,7 @@ pub mod triangles;
 pub use classify::{classify, Classification};
 pub use instance::{Instance, Placement, ValueStore};
 pub use runner::{
-    run_algorithm, run_algorithm_traced, run_resilient, run_resilient_traced, Algorithm,
-    ResilientReport, RetryPolicy, RunReport,
+    compile_schedule, run_algorithm, run_algorithm_traced, run_resilient, run_resilient_traced,
+    Algorithm, ResilientReport, RetryPolicy, RunReport,
 };
 pub use triangles::{Triangle, TriangleSet};

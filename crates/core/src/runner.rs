@@ -186,8 +186,9 @@ pub fn run_resilient<S: Semiring + SampleElement>(
 ///
 /// The run executes on the linked sequential backend in windows of
 /// `policy.checkpoint_every` rounds. A window that ends cleanly is
-/// checkpointed; a window that surfaces [`ModelError::Corruption`] or
-/// [`ModelError::NodeCrashed`] is rolled back to the last checkpoint and
+/// checkpointed; a window that surfaces [`ModelError::Corruption`],
+/// [`ModelError::NodeCrashed`], or [`ModelError::WorkerPanicked`] is rolled
+/// back to the last checkpoint and
 /// replayed (injected faults are one-shot, so replays make progress). Any
 /// other error — and a fault budget overrun per [`RetryPolicy`] — aborts
 /// with the underlying error.
@@ -232,7 +233,11 @@ pub fn run_resilient_traced<S: Semiring + SampleElement, T: Tracer>(
                 ckpt = machine.checkpoint(next_step, stats);
                 checkpoints += 1;
             }
-            Err(e @ (ModelError::Corruption { .. } | ModelError::NodeCrashed { .. })) => {
+            Err(
+                e @ (ModelError::Corruption { .. }
+                | ModelError::NodeCrashed { .. }
+                | ModelError::WorkerPanicked { .. }),
+            ) => {
                 failures += 1;
                 replayed_rounds += stats.rounds - ckpt.stats().rounds;
                 let shift = (failures - 1).min(32) as u32;
@@ -282,6 +287,17 @@ pub fn run_resilient_traced<S: Semiring + SampleElement, T: Tracer>(
         checkpoints,
         fault_log: plan.log(),
     })
+}
+
+/// Compile an instance with the selected algorithm and return the
+/// schedule alone — the artifact external validators (the
+/// `lowband-check` linter, schedule caching) work with. Identical to the
+/// compile phase of [`run_algorithm_traced`], minus the execution.
+pub fn compile_schedule(
+    inst: &Instance,
+    algorithm: Algorithm,
+) -> Result<lowband_model::Schedule, ModelError> {
+    compile(inst, algorithm).map(|(_, schedule, _)| schedule)
 }
 
 /// The compile phase of [`run_algorithm_traced`]: triangle enumeration

@@ -41,6 +41,38 @@ struct KeyClock {
     read: u64,
 }
 
+/// Earliest communication round `r ≥ 1` whose action time `2r` is
+/// **strictly after** clock time `t`.
+///
+/// This is the strict rounding used by flow dependencies (a payload ships
+/// only after its producing write completed) and output dependencies
+/// (writes to the same key keep their order). `t / 2 + 1 ≥ 1` for every
+/// `t`, so no extra clamp is needed.
+fn round_strictly_after(t: u64) -> usize {
+    (t / 2 + 1) as usize
+}
+
+/// Earliest communication round `r ≥ 1` whose action time `2r` is **at or
+/// after** clock time `t`.
+///
+/// This is the non-strict rounding used by anti dependencies: a write may
+/// land in the *same* round as the last read of the old value, because
+/// within a round the machine reads all payloads before delivering any.
+/// The two roundings differ exactly at even `t = 2s`: a *read* at round
+/// `s` admits a write in round `s` (this function), while a *write* at
+/// round `s` pushes dependents to round `s + 1`
+/// ([`round_strictly_after`]).
+fn round_at_or_after(t: u64) -> usize {
+    t.div_ceil(2).max(1) as usize
+}
+
+/// Earliest compute slot `s ≥ 0` whose action time `2s + 1` is at or after
+/// clock time `t` (slot 0 precedes the first round; slot times are odd, so
+/// "at or after" and "strictly after an even write time" coincide).
+fn slot_at_or_after(t: u64) -> usize {
+    t.saturating_sub(1).div_ceil(2) as usize
+}
+
 struct Compressor {
     n: usize,
     capacity: u32,
@@ -107,20 +139,17 @@ impl Compressor {
     fn place_transfer(&mut self, t: crate::Transfer) {
         let src_id = self.slot(t.src, t.src_key);
         let dst_id = self.slot(t.dst, t.dst_key);
-        // Flow: source value fully written before the round fires.
+        // Flow: source value fully written strictly before the round fires.
         let src_written = self.clocks[src_id].write;
-        // earliest round from src availability: 2r > src_written, i.e.
-        // r ≥ floor(src_written / 2) + 1.
-        let mut r = (src_written / 2 + 1).max(1) as usize;
+        let mut r = round_strictly_after(src_written);
         // Anti dependency: a write may not overtake a read of the old value
-        // (ties are fine — within a round all reads precede all writes):
-        // 2r ≥ last read.
+        // (ties are fine — within a round all reads precede all writes).
         let dst_clock = self.clocks[dst_id];
-        r = r.max(dst_clock.read.div_ceil(2).max(1) as usize);
+        r = r.max(round_at_or_after(dst_clock.read));
         // Output dependency: strictly after any earlier write to the same
         // key (two same-round writes have no defined order once capacity
-        // exceeds 1): 2r > last write.
-        r = r.max((dst_clock.write / 2 + 1) as usize);
+        // exceeds 1).
+        r = r.max(round_strictly_after(dst_clock.write));
         while !self.round_has_slot(r, t.src, t.dst) {
             r += 1;
         }
@@ -171,10 +200,10 @@ impl Compressor {
             let src_id = self.slot(t.src, t.src_key);
             let dst_id = self.slot(t.dst, t.dst_key);
             let src_written = self.clocks[src_id].write;
-            r = r.max((src_written / 2 + 1).max(1) as usize);
+            r = r.max(round_strictly_after(src_written));
             let dst_clock = self.clocks[dst_id];
-            r = r.max(dst_clock.read.div_ceil(2).max(1) as usize);
-            r = r.max((dst_clock.write / 2 + 1) as usize);
+            r = r.max(round_at_or_after(dst_clock.read));
+            r = r.max(round_strictly_after(dst_clock.write));
         }
         // ...and with simultaneous send/receive capacity for all of them.
         // A fresh round always fits (the original round was valid), so this
@@ -263,8 +292,7 @@ impl Compressor {
             let c = self.clocks[id];
             need = need.max(c.read).max(c.write);
         }
-        // smallest s with 2s + 1 ≥ need.
-        let s = (need.saturating_sub(1)).div_ceil(2) as usize;
+        let s = slot_at_or_after(need);
         while self.slots.len() <= s {
             self.slots.push(Vec::new());
         }
@@ -575,5 +603,112 @@ mod tests {
         let c = compress(&s);
         assert_eq!(c.rounds(), 0);
         assert_eq!(c.messages(), 0);
+    }
+
+    /// Boundary values for the two round roundings at clock times 0, 1, 2.
+    /// The strict form (flow/output deps) and the non-strict form (anti
+    /// deps) agree at odd times and on the never-touched clock `t = 0`, and
+    /// differ exactly at positive even times — `t = 2` (a round-1 event)
+    /// admits round 1 for a write-after-read but forces round 2 for a
+    /// read-after-write.
+    #[test]
+    fn rounding_helpers_boundary_values() {
+        // t = 0: clock never touched — both admit the first round.
+        assert_eq!(round_strictly_after(0), 1);
+        assert_eq!(round_at_or_after(0), 1);
+        // t = 1: compute slot 0 (before round 1) — both admit round 1.
+        assert_eq!(round_strictly_after(1), 1);
+        assert_eq!(round_at_or_after(1), 1);
+        // t = 2: round 1 — the formulas disagree by design.
+        assert_eq!(round_strictly_after(2), 2);
+        assert_eq!(round_at_or_after(2), 1);
+        // Compute slots act at odd times 2s + 1.
+        assert_eq!(slot_at_or_after(0), 0);
+        assert_eq!(slot_at_or_after(1), 0);
+        assert_eq!(slot_at_or_after(2), 1, "even write time 2 forces slot 1");
+    }
+
+    /// Schedule-level pin of the `t = 2` boundary: an anti dependency on a
+    /// round-1 read may share round 1, while a flow dependency on a round-1
+    /// write must wait for round 2.
+    #[test]
+    fn round_one_clock_boundary_behaviors() {
+        // Anti: round 1 reads K at node 0; the later overwrite of K joins
+        // round 1 (read-before-write within a round).
+        let mut b = ScheduleBuilder::new(3);
+        b.round(vec![t(
+            0,
+            Key::tmp(0, 0),
+            1,
+            Key::tmp(0, 1),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        b.round(vec![t(
+            2,
+            Key::tmp(0, 2),
+            0,
+            Key::tmp(0, 0),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        let s = b.build();
+        assert_eq!(compress(&s).rounds(), 1, "anti dep shares the round");
+        equivalent(
+            3,
+            &[(0, Key::tmp(0, 0), 4), (2, Key::tmp(0, 2), 8)],
+            &s,
+            &[(1, Key::tmp(0, 1)), (0, Key::tmp(0, 0))],
+        );
+
+        // Flow: round 1 writes K at node 1; forwarding K must wait.
+        let mut b = ScheduleBuilder::new(3);
+        b.round(vec![t(
+            0,
+            Key::tmp(0, 0),
+            1,
+            Key::tmp(0, 1),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        b.round(vec![t(
+            1,
+            Key::tmp(0, 1),
+            2,
+            Key::tmp(0, 2),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        let s = b.build();
+        assert_eq!(compress(&s).rounds(), 2, "flow dep forces the next round");
+        equivalent(3, &[(0, Key::tmp(0, 0), 4)], &s, &[(2, Key::tmp(0, 2))]);
+
+        // Output: two overwrites of the same key keep their order even
+        // with capacity to spare.
+        let mut b = ScheduleBuilder::with_capacity(3, 2);
+        b.round(vec![t(
+            0,
+            Key::tmp(0, 0),
+            2,
+            Key::tmp(0, 9),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        b.round(vec![t(
+            1,
+            Key::tmp(0, 1),
+            2,
+            Key::tmp(0, 9),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        let s = b.build();
+        assert_eq!(compress(&s).rounds(), 2, "output dep keeps write order");
+        equivalent(
+            3,
+            &[(0, Key::tmp(0, 0), 4), (1, Key::tmp(0, 1), 6)],
+            &s,
+            &[(2, Key::tmp(0, 9))],
+        );
     }
 }

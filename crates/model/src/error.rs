@@ -48,6 +48,15 @@ pub enum ModelError {
         /// Global round index at which the crash occurred.
         round: usize,
     },
+    /// A worker thread of a parallel executor panicked while applying
+    /// `step` (e.g. a value type whose arithmetic panics). Machine state is
+    /// indeterminate for that step; like [`ModelError::NodeCrashed`] this
+    /// is retryable — `run_resilient` restores the last checkpoint and
+    /// replays.
+    WorkerPanicked {
+        /// Step index whose sharded application lost a worker.
+        step: usize,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -85,6 +94,9 @@ impl std::fmt::Display for ModelError {
             }
             ModelError::NodeCrashed { node, round } => {
                 write!(f, "round {round}: node {node} crashed and lost its store")
+            }
+            ModelError::WorkerPanicked { step } => {
+                write!(f, "step {step}: a parallel worker thread panicked")
             }
         }
     }

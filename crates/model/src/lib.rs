@@ -67,7 +67,9 @@ pub use algebra::Semiring;
 pub use compress::{compress, compress_traced};
 pub use error::ModelError;
 pub use key::Key;
-pub use link::{link, link_traced, LinkedMachine, LinkedSchedule};
+pub use link::{
+    link, link_traced, LinkedMachine, LinkedOp, LinkedSchedule, LinkedStepView, LinkedTransfer,
+};
 pub use machine::{ExecutionStats, Machine};
 pub use parallel::ParallelMachine;
 pub use recovery::{Checkpoint, RunWindow};

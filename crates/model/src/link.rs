@@ -132,7 +132,8 @@ pub enum LinkedOp {
 }
 
 impl LinkedOp {
-    fn node(&self) -> u32 {
+    /// The node this op runs on.
+    pub fn node(&self) -> u32 {
         match *self {
             LinkedOp::Mul { node, .. }
             | LinkedOp::AddAssign { node, .. }
@@ -171,6 +172,28 @@ enum LinkedStep {
     },
 }
 
+/// One step of a linked schedule in borrowed, slot-addressed form — the
+/// public view behind [`LinkedSchedule::step_views`]. `step` is the index
+/// of the corresponding step in the *source* schedule (linking produces
+/// exactly one linked step per source step).
+#[derive(Clone, Copy, Debug)]
+pub enum LinkedStepView<'a> {
+    /// A communication round.
+    Comm {
+        /// The round's transfers, stable-sorted by destination node.
+        transfers: &'a [LinkedTransfer],
+        /// Source-schedule step index.
+        step: usize,
+    },
+    /// A block of local ops.
+    Compute {
+        /// The block's ops, stable-sorted by node.
+        ops: &'a [LinkedOp],
+        /// Source-schedule step index.
+        step: usize,
+    },
+}
+
 /// A [`Schedule`] after linking: keys interned to dense per-node slots,
 /// events in flat slot-addressed arrays, model constraints validated.
 #[derive(Clone, Debug)]
@@ -197,6 +220,10 @@ fn intern(keys: &mut Vec<Key>, slots: &mut HashMap<Key, u32>, key: Key) -> u32 {
         slot
     })
 }
+
+/// The pre-interned slot vectors of one `BlockMulAdd` side-table entry:
+/// `(dim, a, b, c)`, each slice in row-major `r·dim + c` order.
+pub type BlockSlotsRef<'a> = (u32, &'a [u32], &'a [u32], &'a [u32]);
 
 impl LinkedSchedule {
     /// Link a schedule: one pass of interning, rewriting and validation.
@@ -410,6 +437,43 @@ impl LinkedSchedule {
         self.node_keys[node.index()][slot as usize]
     }
 
+    /// Number of linked steps. Linking produces exactly one linked step per
+    /// source step, so this equals the source schedule's step count — an
+    /// invariant `lowband-check` lints.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The linked steps in execution order, viewed against the flat
+    /// transfer/op arrays. This is the read-only surface external
+    /// validators (the `lowband-check` linter) walk.
+    pub fn step_views(&self) -> impl Iterator<Item = LinkedStepView<'_>> {
+        self.steps.iter().map(|s| match s {
+            LinkedStep::Comm { transfers, step } => LinkedStepView::Comm {
+                transfers: &self.transfers[transfers.clone()],
+                step: *step,
+            },
+            LinkedStep::Compute { ops, step } => LinkedStepView::Compute {
+                ops: &self.ops[ops.clone()],
+                step: *step,
+            },
+        })
+    }
+
+    /// Number of entries in the `BlockMulAdd` side-table.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The pre-interned slot vectors of block `block` as
+    /// `(dim, a, b, c)` in row-major `r·dim + c` order, or `None` if the
+    /// index is out of range.
+    pub fn block_slots(&self, block: u32) -> Option<BlockSlotsRef<'_>> {
+        self.blocks
+            .get(block as usize)
+            .map(|b| (b.dim, &b.a[..], &b.b[..], &b.c[..]))
+    }
+
     fn missing(&self, node: u32, slot: u32, step: usize) -> ModelError {
         ModelError::MissingValue {
             node: NodeId(node),
@@ -579,14 +643,16 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
         for lstep in &schedule.steps[first..] {
             match lstep {
                 LinkedStep::Comm { transfers, step } => {
-                    if F::ENABLED {
-                        if window_rounds == window.max_rounds {
-                            if T::ENABLED {
-                                tracer.node_loads(&node_sends, &node_recvs);
-                            }
-                            return Ok(Some(*step));
+                    // The window budget binds on every run, fault hook or
+                    // not (see `crate::Machine::run_window`).
+                    if window_rounds == window.max_rounds {
+                        if T::ENABLED {
+                            tracer.node_loads(&node_sends, &node_recvs);
                         }
-                        window_rounds += 1;
+                        return Ok(Some(*step));
+                    }
+                    window_rounds += 1;
+                    if F::ENABLED {
                         if let Some(victim) = faults.crash(stats.rounds) {
                             if (victim as usize) < schedule.n {
                                 if T::ENABLED {
@@ -812,10 +878,24 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                                 })
                             })
                             .collect();
-                        handles
-                            .into_iter()
-                            .flat_map(|h| h.join().expect("reader panicked"))
-                            .collect()
+                        // Join every handle (an unjoined panicked thread
+                        // would re-panic when the scope exits); a panicked
+                        // reader poisons the round with a typed error.
+                        let mut out = Vec::with_capacity(ts.len());
+                        let mut panicked = false;
+                        for h in handles {
+                            match h.join() {
+                                Ok(part) => out.extend(part),
+                                Err(_) => panicked = true,
+                            }
+                        }
+                        if panicked {
+                            out.clear();
+                            out.resize_with(ts.len(), || {
+                                Err(ModelError::WorkerPanicked { step: *step })
+                            });
+                        }
+                        out
                     });
                     // Write phase: ts is sorted by dst, so each shard's
                     // deliveries are one contiguous slice.
@@ -833,7 +913,8 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                     if let Some(e) = first_err {
                         return Err(e);
                     }
-                    std::thread::scope(|scope| {
+                    let delivered: Result<(), ModelError> = std::thread::scope(|scope| {
+                        let mut handles = Vec::with_capacity(threads);
                         let mut rest: &mut [Vec<Option<V>>] = &mut self.slots;
                         let mut ts_rest = ts;
                         let mut vals_rest: &mut [V] = &mut values;
@@ -849,7 +930,7 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                                 std::mem::take(&mut vals_rest).split_at_mut(split);
                             vals_rest = vals_tail;
                             let base = bounds[s];
-                            scope.spawn(move || {
+                            handles.push(scope.spawn(move || {
                                 for (t, v) in ts_here.iter().zip(vals_here) {
                                     deliver(
                                         &mut block[t.dst as usize - base][t.dst_slot as usize],
@@ -857,9 +938,17 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                                         std::mem::replace(v, V::zero()),
                                     );
                                 }
-                            });
+                            }));
                         }
+                        let mut result = Ok(());
+                        for h in handles {
+                            if h.join().is_err() {
+                                result = Err(ModelError::WorkerPanicked { step: *step });
+                            }
+                        }
+                        result
                     });
+                    delivered?;
                     stats.record_round(ts.len());
                     if T::ENABLED {
                         for t in ts {
@@ -902,7 +991,10 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
                         }
                         handles
                             .into_iter()
-                            .map(|h| h.join().expect("worker panicked"))
+                            .map(|h| {
+                                h.join()
+                                    .unwrap_or(Err(ModelError::WorkerPanicked { step: *step }))
+                            })
                             .collect()
                     });
                     results.into_iter().collect::<Result<(), ModelError>>()?;

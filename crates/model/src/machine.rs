@@ -162,14 +162,17 @@ impl<V: Semiring> Machine<V> {
             let step_idx = first + offset;
             match step {
                 Step::Comm(round) => {
-                    if F::ENABLED {
-                        if window_rounds == window.max_rounds {
-                            if T::ENABLED {
-                                tracer.node_loads(&node_sends, &node_recvs);
-                            }
-                            return Ok(Some(step_idx));
+                    // The window budget binds on every run, fault hook or
+                    // not: a windowed plain run stops at the boundary and
+                    // returns its resume cursor just like a guarded one.
+                    if window_rounds == window.max_rounds {
+                        if T::ENABLED {
+                            tracer.node_loads(&node_sends, &node_recvs);
                         }
-                        window_rounds += 1;
+                        return Ok(Some(step_idx));
+                    }
+                    window_rounds += 1;
+                    if F::ENABLED {
                         if let Some(victim) = faults.crash(stats.rounds) {
                             let victim = NodeId(victim);
                             // Targets outside the network (a plan generated

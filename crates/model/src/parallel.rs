@@ -267,7 +267,12 @@ impl<V: Semiring> ParallelMachine<V> {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|h| {
+                    // A worker that panicked (e.g. a value type whose
+                    // arithmetic panics) must surface as a typed error the
+                    // resilient driver can retry, never abort the process.
+                    h.join().unwrap_or(Err(ModelError::WorkerPanicked { step }))
+                })
                 .collect()
         });
         results.into_iter().collect()
@@ -352,14 +357,16 @@ impl<V: Semiring> ParallelMachine<V> {
             let step_idx = first + offset;
             match step {
                 Step::Comm(round) => {
-                    if F::ENABLED {
-                        if window_rounds == window.max_rounds {
-                            if T::ENABLED {
-                                tracer.node_loads(&node_sends, &node_recvs);
-                            }
-                            return Ok(Some(step_idx));
+                    // The window budget binds on every run, fault hook or
+                    // not (see `crate::Machine::run_window`).
+                    if window_rounds == window.max_rounds {
+                        if T::ENABLED {
+                            tracer.node_loads(&node_sends, &node_recvs);
                         }
-                        window_rounds += 1;
+                        return Ok(Some(step_idx));
+                    }
+                    window_rounds += 1;
+                    if F::ENABLED {
                         if let Some(victim) = faults.crash(stats.rounds) {
                             let victim = NodeId(victim);
                             if victim.index() < n {
@@ -431,10 +438,25 @@ impl<V: Semiring> ParallelMachine<V> {
                                 })
                             })
                             .collect();
-                        handles
-                            .into_iter()
-                            .flat_map(|h| h.join().expect("reader panicked"))
-                            .collect()
+                        // Join every handle (an unjoined panicked thread
+                        // would re-panic when the scope exits); if any
+                        // reader panicked, poison the whole round with a
+                        // typed error (the zip below stops at the first Err).
+                        let mut out = Vec::with_capacity(transfers.len());
+                        let mut panicked = false;
+                        for h in handles {
+                            match h.join() {
+                                Ok(part) => out.extend(part),
+                                Err(_) => panicked = true,
+                            }
+                        }
+                        if panicked {
+                            out.clear();
+                            out.resize_with(transfers.len(), || {
+                                Err(ModelError::WorkerPanicked { step: step_idx })
+                            });
+                        }
+                        out
                     });
 
                     // Write phase (parallel, sharded by destination). Fault

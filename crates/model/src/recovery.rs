@@ -27,8 +27,10 @@ pub struct RunWindow {
     pub start_step: usize,
     /// Stop *before* the communication step that would begin round
     /// `max_rounds + 1` of this window, returning the resume cursor.
-    /// `usize::MAX` runs to completion. Only consulted when the fault hook
-    /// is enabled; plain runs always execute everything.
+    /// `usize::MAX` runs to completion. The budget binds on **every** run,
+    /// with or without a fault hook: a windowed plain run (e.g.
+    /// [`NoopFaults`](lowband_faults::NoopFaults)) stops at the boundary
+    /// and returns `Ok(Some(step))` exactly like a guarded one.
     pub max_rounds: usize,
 }
 

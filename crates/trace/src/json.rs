@@ -597,6 +597,62 @@ mod tests {
     }
 
     #[test]
+    fn unicode_escape_roundtrips() {
+        // Astral-plane characters: the writer emits raw UTF-8; the reader
+        // accepts both that and the `\uXXXX` surrogate-pair spelling, and
+        // both decode to the same string.
+        let rocket = Json::Str("\u{1F680}".into());
+        assert_eq!(rocket.to_compact(), "\"\u{1F680}\"");
+        assert_eq!(parse("\"\u{1F680}\"").unwrap(), rocket);
+        assert_eq!(parse(r#""\ud83d\ude80""#).unwrap(), rocket);
+        // The extremes of the surrogate-pair range.
+        assert_eq!(
+            parse(r#""\ud800\udc00""#).unwrap(),
+            Json::Str("\u{10000}".into())
+        );
+        assert_eq!(
+            parse(r#""\udbff\udfff""#).unwrap(),
+            Json::Str("\u{10FFFF}".into())
+        );
+        // BMP values either side of the surrogate gap need no pair.
+        assert_eq!(
+            parse(r#""\ud7ff\ue000""#).unwrap(),
+            Json::Str("\u{D7FF}\u{E000}".into())
+        );
+
+        // Controls: the writer spells backspace/form-feed as `\u0008` /
+        // `\u000c`; the reader must accept those AND the short `\b` / `\f`
+        // escapes it never emits, producing identical strings.
+        let ctl = Json::Str("\u{0}\u{8}\u{c}\u{1f}\n\r\t".into());
+        let text = ctl.to_compact();
+        assert_eq!(text, r#""\u0000\u0008\u000c\u001f\n\r\t""#);
+        assert_eq!(parse(&text).unwrap(), ctl);
+        assert_eq!(parse(r#""\u0000\b\f\u001f\n\r\t""#).unwrap(), ctl);
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        for bad in [
+            // Lone low surrogate.
+            r#""\udc00""#,
+            // High surrogate at end of string / end of input.
+            r#""\ud800""#,
+            "\"\\ud800",
+            // High surrogate followed by a raw character.
+            r#""\ud800x""#,
+            // High surrogate followed by the wrong escape.
+            r#""\ud800\n""#,
+            // High surrogate followed by a non-low-surrogate \u escape.
+            r#""\ud800\u0041""#,
+            r#""\ud800\ud800""#,
+            // Truncated hex.
+            r#""\ud8""#,
+            r#""\ud800\udc""#,
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+    #[test]
     fn malformed_inputs_error_with_offsets() {
         for bad in [
             "",

@@ -69,7 +69,7 @@ fn main() {
 
     // Table 2, regenerated.
     println!("\n=== Table 2: classification of all [X:Y:Z] multisets ===\n");
-    println!("{:<16} {:<18} {}", "task", "upper bound", "lower bound");
+    println!("{:<16} {:<18} lower bound", "task", "upper bound");
     for ms in all_multisets() {
         let c = classify(ms);
         let label = format!("[{}:{}:{}]", ms[0], ms[1], ms[2]);

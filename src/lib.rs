@@ -27,7 +27,10 @@
 //! * [`faults`] — deterministic fault injection (message drops, value
 //!   corruption, node crashes), per-round integrity checksums, and the
 //!   checkpoint/rollback machinery behind
-//!   [`core::run_resilient`](lowband_core::run_resilient).
+//!   [`core::run_resilient`](lowband_core::run_resilient);
+//! * [`check`] — the schedule invariant linter (per-round capacity,
+//!   same-round hazards, liveness, link fidelity) and the seeded
+//!   cross-executor differential fuzzer behind the `check` CI gate.
 //!
 //! ## Quick start
 //!
@@ -49,6 +52,7 @@
 //! println!("{} rounds, {} messages", report.rounds, report.messages);
 //! ```
 
+pub use lowband_check as check;
 pub use lowband_core as core;
 pub use lowband_faults as faults;
 pub use lowband_lower as lower;

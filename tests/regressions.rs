@@ -1,0 +1,278 @@
+//! Minimal regression tests for executor bugs found by (or fixed alongside)
+//! the `lowband-check` tooling.
+//!
+//! 1. `RunWindow::max_rounds` was silently ignored when the fault hook was
+//!    statically disabled (`NoopFaults`): a windowed plain run executed the
+//!    whole schedule instead of pausing at the boundary. The budget must
+//!    bind on every run, on every executor backend.
+//! 2. A panicking worker thread in the parallel executors aborted the whole
+//!    process (or re-panicked at scope exit); it must surface as the typed,
+//!    retryable `ModelError::WorkerPanicked`.
+
+use lowband::model::algebra::{Nat, Semiring};
+use lowband::model::{
+    link, ExecutionStats, Key, LinkedMachine, LocalOp, Machine, Merge, ModelError, NodeId,
+    NoopFaults, NoopTracer, ParallelMachine, RunWindow, ScheduleBuilder, Transfer,
+};
+
+fn transfer(src: u32, src_key: Key, dst: u32, dst_key: Key) -> Transfer {
+    Transfer {
+        src: NodeId(src),
+        src_key,
+        dst: NodeId(dst),
+        dst_key,
+        merge: Merge::Add,
+    }
+}
+
+/// A 4-round ring-shift schedule over 3 nodes with one compute block in
+/// the middle, plus its initial loads.
+fn windowed_fixture() -> (lowband::model::Schedule, Vec<(u32, Key, u64)>) {
+    let mut b = ScheduleBuilder::new(3);
+    for r in 0..4u64 {
+        if r == 2 {
+            b.compute(vec![LocalOp::MulAdd {
+                node: NodeId(0),
+                dst: Key::x(0, 0),
+                lhs: Key::tmp(0, 0),
+                rhs: Key::tmp(0, 0),
+            }])
+            .unwrap();
+        }
+        let t = (0..3u32)
+            .map(|node| {
+                transfer(
+                    node,
+                    Key::tmp(0, u64::from(node)),
+                    (node + 1) % 3,
+                    Key::tmp(0, u64::from((node + 1) % 3)),
+                )
+            })
+            .collect();
+        b.round(t).unwrap();
+    }
+    let loads = (0..3u32)
+        .map(|node| (node, Key::tmp(0, u64::from(node)), u64::from(node) + 2))
+        .collect();
+    (b.build(), loads)
+}
+
+/// A windowed run with the statically-disabled `NoopFaults` hook must stop
+/// at the round budget, return the resume cursor, and complete to the same
+/// state as an unwindowed run — on every executor backend.
+#[test]
+fn window_budget_binds_without_fault_hook() {
+    let (schedule, loads) = windowed_fixture();
+    let linked = link(&schedule).unwrap();
+
+    // Unwindowed reference state.
+    let mut reference: Machine<Nat> = Machine::new(3);
+    for &(node, key, v) in &loads {
+        reference.load(NodeId(node), key, Nat(v));
+    }
+    let ref_stats = reference.run(&schedule).unwrap();
+    assert_eq!(ref_stats.rounds, 4);
+
+    // Each backend: a 2-round window must pause (the old bug ran to
+    // completion and returned Ok(None)), then resuming must finish.
+    let check = |paused: Result<Option<usize>, ModelError>,
+                 stats: &ExecutionStats,
+                 backend: &str|
+     -> usize {
+        let cursor = paused
+            .unwrap()
+            .unwrap_or_else(|| panic!("{backend}: windowed plain run ignored max_rounds"));
+        assert_eq!(stats.rounds, 2, "{backend}: wrong rounds at the boundary");
+        cursor
+    };
+
+    {
+        let mut m: Machine<Nat> = Machine::new(3);
+        for &(node, key, v) in &loads {
+            m.load(NodeId(node), key, Nat(v));
+        }
+        let mut stats = ExecutionStats::default();
+        let paused = m.run_guarded(
+            &schedule,
+            &mut NoopTracer,
+            &mut NoopFaults,
+            RunWindow::new(0, 2),
+            &mut stats,
+        );
+        let cursor = check(paused, &stats, "Machine");
+        let done = m
+            .run_guarded(
+                &schedule,
+                &mut NoopTracer,
+                &mut NoopFaults,
+                RunWindow::new(cursor, usize::MAX),
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(done, None);
+        assert_eq!(stats.rounds, 4);
+        for node in 0..3 {
+            assert_eq!(m.snapshot(NodeId(node)), reference.snapshot(NodeId(node)));
+        }
+    }
+
+    {
+        let mut m: ParallelMachine<Nat> = ParallelMachine::new(3, 2);
+        for &(node, key, v) in &loads {
+            m.load(NodeId(node), key, Nat(v));
+        }
+        let mut stats = ExecutionStats::default();
+        let paused = m.run_guarded(
+            &schedule,
+            &mut NoopTracer,
+            &mut NoopFaults,
+            RunWindow::new(0, 2),
+            &mut stats,
+        );
+        let cursor = check(paused, &stats, "ParallelMachine");
+        let done = m
+            .run_guarded(
+                &schedule,
+                &mut NoopTracer,
+                &mut NoopFaults,
+                RunWindow::new(cursor, usize::MAX),
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(done, None);
+        assert_eq!(stats.rounds, 4);
+        for node in 0..3 {
+            assert_eq!(m.snapshot(NodeId(node)), reference.snapshot(NodeId(node)));
+        }
+    }
+
+    {
+        let mut m: LinkedMachine<Nat> = LinkedMachine::new(&linked);
+        for &(node, key, v) in &loads {
+            m.load(NodeId(node), key, Nat(v));
+        }
+        let mut stats = ExecutionStats::default();
+        let paused = m.run_guarded(
+            &mut NoopTracer,
+            &mut NoopFaults,
+            RunWindow::new(0, 2),
+            &mut stats,
+        );
+        let cursor = check(paused, &stats, "LinkedMachine");
+        let done = m
+            .run_guarded(
+                &mut NoopTracer,
+                &mut NoopFaults,
+                RunWindow::new(cursor, usize::MAX),
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(done, None);
+        assert_eq!(stats.rounds, 4);
+        for node in 0..3 {
+            assert_eq!(m.snapshot(NodeId(node)), reference.snapshot(NodeId(node)));
+        }
+    }
+}
+
+/// A value type whose arithmetic (or payload clone) panics on a sentinel —
+/// the minimal reproduction of a worker-thread panic inside the parallel
+/// executors.
+#[derive(Debug, PartialEq)]
+struct Boom(u64);
+
+/// `mul` involving this value panics (compute-phase worker).
+const POISON_MUL: u64 = 13;
+/// Cloning this value panics (communication read-phase worker).
+const POISON_CLONE: u64 = 99;
+
+impl Clone for Boom {
+    fn clone(&self) -> Boom {
+        assert!(self.0 != POISON_CLONE, "poisoned clone");
+        Boom(self.0)
+    }
+}
+
+impl Semiring for Boom {
+    fn zero() -> Boom {
+        Boom(0)
+    }
+    fn one() -> Boom {
+        Boom(1)
+    }
+    fn add(&self, rhs: &Boom) -> Boom {
+        Boom(self.0.wrapping_add(rhs.0))
+    }
+    fn mul(&self, rhs: &Boom) -> Boom {
+        assert!(
+            self.0 != POISON_MUL && rhs.0 != POISON_MUL,
+            "poisoned multiply"
+        );
+        Boom(self.0.wrapping_mul(rhs.0))
+    }
+    fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Compute-phase worker panic: `ParallelMachine` must return the typed
+/// `WorkerPanicked` error instead of aborting the process.
+#[test]
+fn compute_worker_panic_is_a_typed_error() {
+    let mut b = ScheduleBuilder::new(2);
+    b.compute(vec![LocalOp::Mul {
+        node: NodeId(0),
+        dst: Key::tmp(0, 2),
+        lhs: Key::tmp(0, 0),
+        rhs: Key::tmp(0, 1),
+    }])
+    .unwrap();
+    let schedule = b.build();
+    let linked = link(&schedule).unwrap();
+
+    let mut m: ParallelMachine<Boom> = ParallelMachine::new(2, 2);
+    m.load(NodeId(0), Key::tmp(0, 0), Boom(POISON_MUL));
+    m.load(NodeId(0), Key::tmp(0, 1), Boom(3));
+    let err = m.run(&schedule).unwrap_err();
+    assert!(
+        matches!(err, ModelError::WorkerPanicked { step: 0 }),
+        "expected WorkerPanicked, got {err:?}"
+    );
+
+    let mut m: LinkedMachine<Boom> = LinkedMachine::new(&linked);
+    m.load(NodeId(0), Key::tmp(0, 0), Boom(POISON_MUL));
+    m.load(NodeId(0), Key::tmp(0, 1), Boom(3));
+    let err = m.run_parallel(2).unwrap_err();
+    assert!(
+        matches!(err, ModelError::WorkerPanicked { step: 0 }),
+        "expected WorkerPanicked, got {err:?}"
+    );
+}
+
+/// Read-phase worker panic (payload clone blows up): previously the
+/// unjoined sibling threads re-panicked when the scope exited, taking the
+/// process down even though the panic had been "caught".
+#[test]
+fn read_phase_worker_panic_is_a_typed_error() {
+    let mut b = ScheduleBuilder::new(2);
+    b.round(vec![transfer(0, Key::tmp(0, 0), 1, Key::tmp(0, 1))])
+        .unwrap();
+    let schedule = b.build();
+    let linked = link(&schedule).unwrap();
+
+    let mut m: ParallelMachine<Boom> = ParallelMachine::new(2, 2);
+    m.load(NodeId(0), Key::tmp(0, 0), Boom(POISON_CLONE));
+    let err = m.run(&schedule).unwrap_err();
+    assert!(
+        matches!(err, ModelError::WorkerPanicked { step: 0 }),
+        "expected WorkerPanicked, got {err:?}"
+    );
+
+    let mut m: LinkedMachine<Boom> = LinkedMachine::new(&linked);
+    m.load(NodeId(0), Key::tmp(0, 0), Boom(POISON_CLONE));
+    let err = m.run_parallel(2).unwrap_err();
+    assert!(
+        matches!(err, ModelError::WorkerPanicked { step: 0 }),
+        "expected WorkerPanicked, got {err:?}"
+    );
+}
