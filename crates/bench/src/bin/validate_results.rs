@@ -15,7 +15,10 @@ use lowband_bench::report::{results_dir, validate_artifact, validate_required_se
 
 /// Required sections for artifacts with a known schema; files not listed
 /// here only get the generic envelope check.
-const KNOWN: &[(&str, &[&str])] = &[("recovery", &["checkpoint_overhead", "recovery_cost"])];
+const KNOWN: &[(&str, &[&str])] = &[
+    ("recovery", &["checkpoint_overhead", "recovery_cost"]),
+    ("batch", &["amortized", "cache", "parallel"]),
+];
 
 fn main() {
     let dir = results_dir();

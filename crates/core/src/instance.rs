@@ -199,6 +199,21 @@ impl Instance {
         m
     }
 
+    /// Reload an existing slot-store machine with a fresh pair of value
+    /// matrices: clear every slot in place
+    /// ([`LinkedMachine::reset_values`]) and load the new values through
+    /// the placement. The machine's slot vectors are reused, so a batch of
+    /// value-sets streams through one allocation of the dense stores.
+    pub fn reload_linked<S: Semiring>(
+        &self,
+        machine: &mut LinkedMachine<'_, S>,
+        a: &SparseMatrix<S>,
+        b: &SparseMatrix<S>,
+    ) {
+        machine.reset_values();
+        self.load_values(machine, a, b);
+    }
+
     /// Read the computed output `X` off any executor backend (entries of
     /// interest that received no contribution are zero).
     pub fn extract_x_from<S: Semiring, M: ValueStore<S>>(&self, machine: &M) -> SparseMatrix<S> {

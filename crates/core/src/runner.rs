@@ -9,8 +9,10 @@
 use lowband_matrix::algebra::SampleElement;
 use lowband_matrix::{reference_multiply, SparseMatrix};
 use lowband_model::faults::Fault;
+use lowband_model::parallel::shard_bounds;
 use lowband_model::{
-    ExecutionStats, FaultSpec, ModelError, NoopTracer, RunWindow, Semiring, Tracer,
+    ExecutionStats, FaultSpec, LinkedMachine, LinkedSchedule, ModelError, NoopTracer, RunWindow,
+    Schedule, Semiring, Tracer,
 };
 use rand::SeedableRng;
 
@@ -86,6 +88,43 @@ pub fn run_algorithm_traced<S: Semiring + SampleElement, T: Tracer>(
     compress: bool,
     tracer: &mut T,
 ) -> Result<RunReport, ModelError> {
+    let plan = compile_plan_traced(inst, algorithm, compress, tracer)?;
+    let mut machine: LinkedMachine<'_, S> = LinkedMachine::new(&plan.linked);
+    execute_seeded(inst, &plan, &mut machine, seed, tracer)
+}
+
+/// The complete structure-dependent artifact of one (instance, algorithm,
+/// compression) choice: everything `run_algorithm` computes *before* any
+/// value exists. In the supported model this is exactly the part that may
+/// be prepared in advance and reused across value-sets — the serving
+/// layer's cache (`lowband-serve`) stores these, and the batch runners
+/// stream seeded value-sets through one of them.
+#[derive(Clone, Debug)]
+pub struct CompiledPlan {
+    /// The compiled (and, if requested, compressed) source schedule — kept
+    /// so external validators (`lowband-check::lint_linked`) and the
+    /// hash-map reference executor can be run against the cached artifact.
+    pub schedule: Schedule,
+    /// The linked, slot-addressed form the executors run.
+    pub linked: LinkedSchedule,
+    /// Modeled rounds (differs from executed rounds only for the
+    /// fast-field engine; see DESIGN.md §3).
+    pub modeled_rounds: f64,
+    /// Number of triangles in `𝒯̂`.
+    pub triangles: usize,
+}
+
+/// Compile + (optionally) compress + link one instance into a reusable
+/// [`CompiledPlan`] — the structure-dependent prefix of
+/// [`run_algorithm_traced`], with the identical span/counter protocol
+/// (`"compile"`, `"compress"` if requested, `"link"`, plus the
+/// `schedule.*`/`compress.*`/`link.*` counters).
+pub fn compile_plan_traced<T: Tracer>(
+    inst: &Instance,
+    algorithm: Algorithm,
+    compress: bool,
+    tracer: &mut T,
+) -> Result<CompiledPlan, ModelError> {
     tracer.span_enter("compile");
     let compiled = compile(inst, algorithm);
     tracer.span_exit("compile");
@@ -95,32 +134,192 @@ pub fn run_algorithm_traced<S: Semiring + SampleElement, T: Tracer>(
     if compress {
         schedule = lowband_model::compress_traced(&schedule, tracer);
     }
+    // Link once (interning keys to dense slots and validating the model
+    // constraints); every later execution is hash-free.
+    let linked = lowband_model::link_traced(&schedule, tracer)?;
+    Ok(CompiledPlan {
+        schedule,
+        linked,
+        modeled_rounds: modeled,
+        triangles: ts_len,
+    })
+}
+
+/// [`compile_plan_traced`] without instrumentation.
+pub fn compile_plan(
+    inst: &Instance,
+    algorithm: Algorithm,
+    compress: bool,
+) -> Result<CompiledPlan, ModelError> {
+    compile_plan_traced(inst, algorithm, compress, &mut NoopTracer)
+}
+
+/// Load the seed's value-set into `machine` (reusing its slot stores),
+/// execute, and verify — the per-value-set suffix of
+/// [`run_algorithm_traced`], identical spans (`"load"`, `"run"`,
+/// `"verify"`) included.
+fn execute_seeded<S: Semiring + SampleElement, T: Tracer>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    machine: &mut LinkedMachine<'_, S>,
+    seed: u64,
+    tracer: &mut T,
+) -> Result<RunReport, ModelError> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
     let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
-    // Link once (interning keys to dense slots and validating the model
-    // constraints), then execute on the hash-free slot-store backend.
-    let linked = lowband_model::link_traced(&schedule, tracer)?;
     tracer.span_enter("load");
-    let mut machine = inst.load_linked(&a, &b, &linked);
+    inst.reload_linked(machine, &a, &b);
     tracer.span_exit("load");
     tracer.span_enter("run");
     let run_result = machine.run_traced(tracer);
     tracer.span_exit("run");
     let stats = run_result?;
     tracer.span_enter("verify");
-    let got = inst.extract_x_from(&machine);
+    let got = inst.extract_x_from(machine);
     let want = reference_multiply(&a, &b, &inst.xhat);
     let correct = got == want;
     tracer.span_exit("verify");
     Ok(RunReport {
         rounds: stats.rounds,
         messages: stats.messages,
-        modeled_rounds: modeled,
-        triangles: ts_len,
+        modeled_rounds: plan.modeled_rounds,
+        triangles: plan.triangles,
         correct,
         events_per_sec: stats.events_per_sec(),
     })
+}
+
+/// How a batch of value-sets is driven through one [`CompiledPlan`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchMode {
+    /// One slot-store machine, value-sets streamed through it in seed
+    /// order via [`LinkedMachine::reset_values`] — zero allocation churn
+    /// between runs.
+    Sequential,
+    /// Independent value-sets fanned across worker threads (`0` selects
+    /// the available parallelism). Each worker owns one machine and
+    /// streams its contiguous share of the seeds through it; reports come
+    /// back in seed order regardless of thread count.
+    Parallel {
+        /// Worker count; `0` = available parallelism.
+        threads: usize,
+    },
+}
+
+/// Execute one seeded value-set per entry of `seeds` through a prepared
+/// [`CompiledPlan`], reusing the dense slot stores between runs. Each
+/// run's report is **bit-identical** (wall-clock throughput aside) to an
+/// independent [`run_algorithm`] call with the same seed — the batch path
+/// skips only the structure-dependent phases, never the verification.
+pub fn run_plan_batch_traced<S: Semiring + SampleElement, T: Tracer>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seeds: &[u64],
+    mode: BatchMode,
+    tracer: &mut T,
+) -> Result<Vec<RunReport>, ModelError> {
+    tracer.counter("batch.runs", seeds.len() as u64);
+    match mode {
+        BatchMode::Sequential => {
+            let mut machine: LinkedMachine<'_, S> = LinkedMachine::new(&plan.linked);
+            seeds
+                .iter()
+                .map(|&seed| execute_seeded(inst, plan, &mut machine, seed, tracer))
+                .collect()
+        }
+        BatchMode::Parallel { threads } => {
+            let threads = if threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            } else {
+                threads
+            }
+            .clamp(1, seeds.len().max(1));
+            tracer.counter("batch.threads", threads as u64);
+            // Same contiguous-block partition the sharded executors use
+            // for nodes, applied to the seed list: worker `s` owns
+            // `seeds[bounds[s]..bounds[s+1]]` and streams them through its
+            // own machine, so per-worker allocation matches the
+            // sequential path and the report order is the seed order.
+            let bounds = shard_bounds(seeds.len(), threads);
+            let worker_reports: Vec<Result<Vec<RunReport>, ModelError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|s| {
+                            let share = &seeds[bounds[s]..bounds[s + 1]];
+                            scope.spawn(move || {
+                                let mut machine: LinkedMachine<'_, S> =
+                                    LinkedMachine::new(&plan.linked);
+                                share
+                                    .iter()
+                                    .map(|&seed| {
+                                        execute_seeded(
+                                            inst,
+                                            plan,
+                                            &mut machine,
+                                            seed,
+                                            &mut NoopTracer,
+                                        )
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join()
+                                .unwrap_or(Err(ModelError::WorkerPanicked { step: 0 }))
+                        })
+                        .collect()
+                });
+            let mut reports = Vec::with_capacity(seeds.len());
+            for worker in worker_reports {
+                reports.extend(worker?);
+            }
+            Ok(reports)
+        }
+    }
+}
+
+/// [`run_plan_batch_traced`] without instrumentation.
+pub fn run_plan_batch<S: Semiring + SampleElement>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seeds: &[u64],
+    mode: BatchMode,
+) -> Result<Vec<RunReport>, ModelError> {
+    run_plan_batch_traced::<S, _>(inst, plan, seeds, mode, &mut NoopTracer)
+}
+
+/// Compile once, execute many: one structure-dependent compile + link,
+/// then every seed in `seeds` streamed through the resulting plan. The
+/// amortized counterpart of calling [`run_algorithm`] per seed.
+pub fn run_algorithm_batch<S: Semiring + SampleElement>(
+    inst: &Instance,
+    algorithm: Algorithm,
+    seeds: &[u64],
+    mode: BatchMode,
+) -> Result<Vec<RunReport>, ModelError> {
+    run_algorithm_batch_traced::<S, _>(inst, algorithm, seeds, false, mode, &mut NoopTracer)
+}
+
+/// [`run_algorithm_batch`] with the compression toggle and an
+/// instrumentation sink observing the whole pipeline — the compile-phase
+/// spans fire once, the `"load"`/`"run"`/`"verify"` spans once per seed
+/// (sequential mode; the parallel fan-out runs workers unobserved).
+pub fn run_algorithm_batch_traced<S: Semiring + SampleElement, T: Tracer>(
+    inst: &Instance,
+    algorithm: Algorithm,
+    seeds: &[u64],
+    compress: bool,
+    mode: BatchMode,
+    tracer: &mut T,
+) -> Result<Vec<RunReport>, ModelError> {
+    let plan = compile_plan_traced(inst, algorithm, compress, tracer)?;
+    run_plan_batch_traced::<S, _>(inst, &plan, seeds, mode, tracer)
 }
 
 /// When to checkpoint and when to give up during a fault-injected run.
@@ -200,18 +399,14 @@ pub fn run_resilient_traced<S: Semiring + SampleElement, T: Tracer>(
     policy: RetryPolicy,
     tracer: &mut T,
 ) -> Result<ResilientReport, ModelError> {
-    tracer.span_enter("compile");
-    let compiled = compile(inst, algorithm);
-    tracer.span_exit("compile");
-    let (ts_len, schedule, modeled) = compiled?;
-    tracer.counter("schedule.rounds", schedule.rounds() as u64);
-    tracer.counter("schedule.messages", schedule.messages() as u64);
+    let compiled = compile_plan_traced(inst, algorithm, false, tracer)?;
+    let (ts_len, modeled) = (compiled.triangles, compiled.modeled_rounds);
+    let schedule = &compiled.schedule;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
     let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
-    let linked = lowband_model::link_traced(&schedule, tracer)?;
     tracer.span_enter("load");
-    let mut machine = inst.load_linked(&a, &b, &linked);
+    let mut machine = inst.load_linked(&a, &b, &compiled.linked);
     tracer.span_exit("load");
 
     let mut plan = spec.plan(schedule.rounds(), schedule.n());
@@ -386,6 +581,46 @@ mod tests {
                 .unwrap()
                 .correct
         );
+    }
+
+    #[test]
+    fn batch_reports_match_independent_runs() {
+        let inst = us_instance(32, 3, 61);
+        let seeds = [7u64, 8, 9];
+        let batch = run_algorithm_batch::<Fp>(
+            &inst,
+            Algorithm::BoundedTriangles,
+            &seeds,
+            BatchMode::Sequential,
+        )
+        .unwrap();
+        assert_eq!(batch.len(), seeds.len());
+        for (&seed, b) in seeds.iter().zip(&batch) {
+            let solo = run_algorithm::<Fp>(&inst, Algorithm::BoundedTriangles, seed).unwrap();
+            assert!(b.correct && solo.correct);
+            assert_eq!(
+                (b.rounds, b.messages, b.triangles),
+                (solo.rounds, solo.messages, solo.triangles)
+            );
+            assert_eq!(b.modeled_rounds, solo.modeled_rounds);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_in_seed_order() {
+        let inst = us_instance(32, 3, 62);
+        let seeds: Vec<u64> = (100..108).collect();
+        let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).unwrap();
+        let seq = run_plan_batch::<Fp>(&inst, &plan, &seeds, BatchMode::Sequential).unwrap();
+        for threads in [1usize, 2, 3, 0] {
+            let par = run_plan_batch::<Fp>(&inst, &plan, &seeds, BatchMode::Parallel { threads })
+                .unwrap();
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            for (s, p) in seq.iter().zip(&par) {
+                assert!(p.correct);
+                assert_eq!((s.rounds, s.messages), (p.rounds, p.messages));
+            }
+        }
     }
 
     #[test]

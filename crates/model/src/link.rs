@@ -799,15 +799,29 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
         Ok(())
     }
 
-    /// Empty every slot and side map, returning the machine to its
-    /// freshly-constructed state.
-    pub fn reset(&mut self) {
+    /// Empty every slot and side map **in place**, returning the machine to
+    /// its freshly-constructed state while keeping every allocation — the
+    /// per-node slot vectors and side-map tables are cleared, not dropped.
+    ///
+    /// This is the compile-once/execute-many primitive: a serving loop
+    /// streams K value-sets through one machine by alternating
+    /// `reset_values` → load → run, paying the structure-dependent
+    /// allocation cost once per [`LinkedSchedule`] instead of once per
+    /// value-set (see `Instance::reload_linked` in `lowband-core`).
+    pub fn reset_values(&mut self) {
         for slots in &mut self.slots {
             slots.iter_mut().for_each(|cell| *cell = None);
         }
         for extra in &mut self.extra {
             extra.clear();
         }
+    }
+
+    /// Alias of [`LinkedMachine::reset_values`], kept so the
+    /// checkpoint/restore surface (`checkpoint`/`restore`/`reset`) stays
+    /// interchangeable across all executor backends.
+    pub fn reset(&mut self) {
+        self.reset_values();
     }
 
     /// Execute the linked schedule across worker threads; `threads = 0`

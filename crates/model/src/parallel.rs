@@ -59,9 +59,11 @@ pub(crate) fn shard_of(node: usize, n: usize, threads: usize) -> usize {
     node * threads / n.max(1)
 }
 
-/// First node of each shard (length `threads + 1`; shard `s` owns
-/// `bounds[s]..bounds[s+1]`).
-pub(crate) fn shard_bounds(n: usize, threads: usize) -> Vec<usize> {
+/// First item of each shard (length `threads + 1`; shard `s` owns
+/// `bounds[s]..bounds[s+1]`). Public because the same contiguous-block
+/// partition shards nodes across executor workers *and* value-sets across
+/// batch workers (`lowband-core`'s parallel batch mode).
+pub fn shard_bounds(n: usize, threads: usize) -> Vec<usize> {
     let mut bounds = vec![n; threads + 1];
     bounds[0] = 0;
     let mut cur = 0usize;

@@ -1,0 +1,301 @@
+//! The structure-keyed compiled-schedule cache.
+//!
+//! A [`ScheduleCache`] maps [`StructureKey`]s to [`Arc`]-shared
+//! [`CompiledPlan`]s. On a miss the plan is compiled, compressed (if
+//! requested), linked, **lint-checked once** (`lowband-check::lint_linked`
+//! — a cached artifact is served many times, so it is validated at insert,
+//! not per run) and stored; on a hit the cached artifact comes back with
+//! zero structure-dependent work. The cache is LRU-bounded: inserting into
+//! a full cache evicts the least-recently-used entry. Hits, misses and
+//! evictions are counted on the cache and emitted as `serve.cache.*`
+//! tracer counters.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lowband_check::lint_linked_traced;
+use lowband_core::{compile_plan_traced, Algorithm, CompiledPlan, Instance};
+use lowband_model::{ModelError, NoopTracer, Tracer};
+
+use crate::key::StructureKey;
+
+/// Errors of the serving layer: the plan failed to compile/link, or the
+/// compiled artifact failed the insert-time lint.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ServeError {
+    /// Compilation or linking failed.
+    Model(ModelError),
+    /// The linked artifact failed `lint_linked` — never cached.
+    Lint {
+        /// Number of lint errors found.
+        errors: usize,
+        /// The first lint error, rendered.
+        first: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Model(e) => write!(f, "plan compilation failed: {e}"),
+            ServeError::Lint { errors, first } => {
+                write!(f, "compiled plan failed lint ({errors} error(s)): {first}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> ServeError {
+        ServeError::Model(e)
+    }
+}
+
+/// Hit/miss/eviction accounting of one cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum number of entries.
+    pub capacity: usize,
+}
+
+struct Entry {
+    plan: Arc<CompiledPlan>,
+    last_used: u64,
+}
+
+/// An LRU-bounded map from instance structure to compiled, linked,
+/// lint-checked schedule artifacts.
+pub struct ScheduleCache {
+    capacity: usize,
+    entries: HashMap<StructureKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ScheduleCache {
+    /// A cache holding at most `capacity` plans (floored at 1).
+    pub fn new(capacity: usize) -> ScheduleCache {
+        ScheduleCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The cached plan for this structure, compiling (and linting) it on a
+    /// miss. Emits one `serve.cache.hit` or `serve.cache.miss` counter per
+    /// call, `serve.cache.evict` per eviction, and — on the miss path —
+    /// the usual compile/compress/link spans plus the `check.lint_linked`
+    /// span of the insert-time lint.
+    pub fn get_or_compile_traced<T: Tracer>(
+        &mut self,
+        inst: &Instance,
+        algorithm: Algorithm,
+        compress: bool,
+        tracer: &mut T,
+    ) -> Result<Arc<CompiledPlan>, ServeError> {
+        let key = StructureKey::of(inst, algorithm, compress);
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.tick;
+            self.hits += 1;
+            tracer.counter("serve.cache.hit", 1);
+            return Ok(Arc::clone(&entry.plan));
+        }
+        self.misses += 1;
+        tracer.counter("serve.cache.miss", 1);
+        let plan = compile_plan_traced(inst, algorithm, compress, tracer)?;
+        let lint = lint_linked_traced(&plan.schedule, &plan.linked, tracer);
+        let errors = lint.errors().count();
+        if errors > 0 {
+            tracer.counter("serve.lint.rejected", 1);
+            return Err(ServeError::Lint {
+                errors,
+                first: lint
+                    .errors()
+                    .next()
+                    .map(|e| e.to_string())
+                    .unwrap_or_default(),
+            });
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+                tracer.counter("serve.cache.evict", 1);
+            }
+        }
+        let plan = Arc::new(plan);
+        self.entries.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                last_used: self.tick,
+            },
+        );
+        Ok(plan)
+    }
+
+    /// [`ScheduleCache::get_or_compile_traced`] without instrumentation.
+    pub fn get_or_compile(
+        &mut self,
+        inst: &Instance,
+        algorithm: Algorithm,
+        compress: bool,
+    ) -> Result<Arc<CompiledPlan>, ServeError> {
+        self.get_or_compile_traced(inst, algorithm, compress, &mut NoopTracer)
+    }
+
+    /// Whether this structure is currently cached (no LRU touch).
+    pub fn contains(&self, inst: &Instance, algorithm: Algorithm, compress: bool) -> bool {
+        self.entries
+            .contains_key(&StructureKey::of(inst, algorithm, compress))
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/eviction accounting so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop every cached plan (accounting is kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_matrix::gen;
+    use lowband_trace::MetricsRegistry;
+    use rand::SeedableRng;
+
+    fn us_instance(n: usize, d: usize, seed: u64) -> Instance {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Instance::new(
+            gen::uniform_sparse(n, d, &mut rng),
+            gen::uniform_sparse(n, d, &mut rng),
+            gen::uniform_sparse(n, d, &mut rng),
+        )
+    }
+
+    #[test]
+    fn hit_returns_the_same_artifact() {
+        let inst = us_instance(24, 3, 1);
+        let mut cache = ScheduleCache::new(4);
+        let p1 = cache
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        let p2 = cache
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "hit must share the cached plan");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn distinct_configurations_get_distinct_entries() {
+        let inst = us_instance(24, 3, 2);
+        let mut cache = ScheduleCache::new(8);
+        cache
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        cache
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, true)
+            .unwrap();
+        cache
+            .get_or_compile(&inst, Algorithm::Trivial, false)
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let a = us_instance(24, 3, 3);
+        let b = us_instance(24, 3, 4);
+        let c = us_instance(24, 3, 5);
+        let mut cache = ScheduleCache::new(2);
+        cache
+            .get_or_compile(&a, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        cache
+            .get_or_compile(&b, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        cache
+            .get_or_compile(&a, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        cache
+            .get_or_compile(&c, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        assert!(cache.contains(&a, Algorithm::BoundedTriangles, false));
+        assert!(!cache.contains(&b, Algorithm::BoundedTriangles, false));
+        assert!(cache.contains(&c, Algorithm::BoundedTriangles, false));
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.len), (1, 2));
+        // The evicted structure recompiles correctly (a fresh miss).
+        cache
+            .get_or_compile(&b, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn counters_reach_the_tracer() {
+        let inst = us_instance(24, 3, 6);
+        let mut cache = ScheduleCache::new(4);
+        let mut metrics = MetricsRegistry::new();
+        for _ in 0..3 {
+            cache
+                .get_or_compile_traced(&inst, Algorithm::BoundedTriangles, false, &mut metrics)
+                .unwrap();
+        }
+        assert_eq!(metrics.counter_value("serve.cache.miss"), Some(1));
+        assert_eq!(metrics.counter_value("serve.cache.hit"), Some(2));
+        assert_eq!(metrics.counter_value("serve.cache.evict"), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_floored_to_one() {
+        let inst = us_instance(16, 2, 7);
+        let mut cache = ScheduleCache::new(0);
+        cache
+            .get_or_compile(&inst, Algorithm::Trivial, false)
+            .unwrap();
+        assert_eq!(cache.stats().capacity, 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

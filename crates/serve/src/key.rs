@@ -1,0 +1,222 @@
+//! Stable structure keys for the compiled-schedule cache.
+//!
+//! In the supported model the entire structure-dependent artifact — the
+//! compiled, compressed and linked schedule — is a pure function of
+//! (`Â`, `B̂`, `X̂`, placement, algorithm, compression flag). A
+//! [`StructureKey`] is a 128-bit fingerprint of exactly those inputs, so
+//! two instances hash to the same key **iff** they would compile to the
+//! same plan (up to the vanishing collision probability of the mix):
+//! value matrices, seeds and tracer choices never enter the key.
+//!
+//! The fingerprint is built from two independent [`mix64`] streams folded
+//! over a canonical serialization of the inputs (dimension-prefixed
+//! row-major support entries, per-entry owners, the algorithm's
+//! discriminant and parameters). Everything traversed is deterministic —
+//! in particular the owner maps are walked in support row-major order, not
+//! hash-map order.
+
+use lowband_core::densemm::DenseEngine;
+use lowband_core::{Algorithm, Instance};
+use lowband_matrix::Support;
+use lowband_model::faults::mix64;
+
+/// A 128-bit fingerprint of everything plan compilation depends on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StructureKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl StructureKey {
+    /// Fingerprint an instance/algorithm/compression choice.
+    pub fn of(inst: &Instance, algorithm: Algorithm, compress: bool) -> StructureKey {
+        let mut mixer = Mixer::new();
+        mixer.word(inst.n as u64);
+        for (tag, support, owners) in [
+            (1u64, &inst.ahat, &inst.placement.a),
+            (2, &inst.bhat, &inst.placement.b),
+            (3, &inst.xhat, &inst.placement.x),
+        ] {
+            mixer.word(tag);
+            mixer.support(support);
+            // Placement changes the compiled schedule (who fetches what),
+            // so it is part of the structure. Walk it in the support's
+            // deterministic row-major order.
+            for (i, j) in support.iter() {
+                mixer.word(u64::from(owners.owner(i, j).0));
+            }
+        }
+        mixer.word(0xA16_0000);
+        mixer.algorithm(algorithm);
+        mixer.word(u64::from(compress));
+        mixer.finish()
+    }
+
+    /// The raw 128 bits (hi ‖ lo), e.g. for logging.
+    pub fn as_u128(self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+impl std::fmt::Display for StructureKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Two independent mix64 folds over the same word stream. A single 64-bit
+/// fold would make accidental collisions across a large cache plausible;
+/// two differently-seeded streams give a 128-bit fingerprint with the same
+/// zero-dependency arithmetic the fault layer's checksums use.
+struct Mixer {
+    hi: u64,
+    lo: u64,
+}
+
+impl Mixer {
+    fn new() -> Mixer {
+        Mixer {
+            hi: mix64(0x10EB_A2D5_7E11_0001),
+            lo: mix64(0x5EED_0FCA_C04E_0002),
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.hi = mix64(self.hi ^ w);
+        self.lo = mix64(self.lo.wrapping_add(mix64(w ^ 0x9E37_79B9_7F4A_7C15)));
+    }
+
+    /// Dimension- and count-prefixed row-major entry list, so supports of
+    /// different shapes can never serialize to the same stream.
+    fn support(&mut self, s: &Support) {
+        self.word(s.rows() as u64);
+        self.word(s.cols() as u64);
+        self.word(s.nnz() as u64);
+        for (i, j) in s.iter() {
+            self.word((u64::from(i) << 32) | u64::from(j));
+        }
+    }
+
+    fn algorithm(&mut self, algorithm: Algorithm) {
+        match algorithm {
+            Algorithm::Trivial => self.word(1),
+            Algorithm::BoundedTriangles => self.word(2),
+            Algorithm::TwoPhase { d, engine } => {
+                self.word(3);
+                self.word(d as u64);
+                match engine {
+                    DenseEngine::Cube3d => self.word(30),
+                    DenseEngine::FastField { omega } => {
+                        self.word(31);
+                        self.word(omega.to_bits());
+                    }
+                    DenseEngine::StrassenExec => self.word(32),
+                }
+            }
+            Algorithm::DenseCube => self.word(4),
+            Algorithm::StrassenField => self.word(5),
+        }
+    }
+
+    fn finish(&self) -> StructureKey {
+        StructureKey {
+            hi: mix64(self.hi),
+            lo: mix64(self.lo),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_matrix::gen;
+    use rand::SeedableRng;
+
+    fn us_instance(n: usize, d: usize, seed: u64) -> Instance {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Instance::new(
+            gen::uniform_sparse(n, d, &mut rng),
+            gen::uniform_sparse(n, d, &mut rng),
+            gen::uniform_sparse(n, d, &mut rng),
+        )
+    }
+
+    #[test]
+    fn identical_structure_identical_key() {
+        // Two instances built independently from the same supports must
+        // agree — the cache contract for "same structure, new values".
+        let a = us_instance(24, 3, 9);
+        let b = Instance::new(a.ahat.clone(), a.bhat.clone(), a.xhat.clone());
+        assert_eq!(
+            StructureKey::of(&a, Algorithm::BoundedTriangles, false),
+            StructureKey::of(&b, Algorithm::BoundedTriangles, false),
+        );
+    }
+
+    #[test]
+    fn every_input_dimension_perturbs_the_key() {
+        let base = us_instance(24, 3, 10);
+        let k = StructureKey::of(&base, Algorithm::BoundedTriangles, false);
+        // Different support.
+        let other = us_instance(24, 3, 11);
+        assert_ne!(
+            k,
+            StructureKey::of(&other, Algorithm::BoundedTriangles, false)
+        );
+        // Different algorithm.
+        assert_ne!(k, StructureKey::of(&base, Algorithm::Trivial, false));
+        // Different compression flag.
+        assert_ne!(
+            k,
+            StructureKey::of(&base, Algorithm::BoundedTriangles, true)
+        );
+        // Different placement over the same supports.
+        let balanced = Instance::balanced(base.ahat.clone(), base.bhat.clone(), base.xhat.clone());
+        assert_ne!(
+            k,
+            StructureKey::of(&balanced, Algorithm::BoundedTriangles, false)
+        );
+    }
+
+    #[test]
+    fn two_phase_parameters_enter_the_key() {
+        let inst = us_instance(24, 3, 12);
+        let cube = Algorithm::TwoPhase {
+            d: 3,
+            engine: DenseEngine::Cube3d,
+        };
+        let cube4 = Algorithm::TwoPhase {
+            d: 4,
+            engine: DenseEngine::Cube3d,
+        };
+        let fast = Algorithm::TwoPhase {
+            d: 3,
+            engine: DenseEngine::FastField { omega: 2.371552 },
+        };
+        let fast2 = Algorithm::TwoPhase {
+            d: 3,
+            engine: DenseEngine::FastField { omega: 2.8073549 },
+        };
+        let keys = [
+            StructureKey::of(&inst, cube, false),
+            StructureKey::of(&inst, cube4, false),
+            StructureKey::of(&inst, fast, false),
+            StructureKey::of(&inst, fast2, false),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let inst = us_instance(8, 2, 13);
+        let k = StructureKey::of(&inst, Algorithm::Trivial, false);
+        let s = k.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(u128::from_str_radix(&s, 16).unwrap(), k.as_u128());
+    }
+}

@@ -1,0 +1,34 @@
+//! # `lowband-serve` — compile once, execute many
+//!
+//! The serving layer for the low-bandwidth matrix multiplication stack. In
+//! the supported model (DESIGN.md §1) every structure-dependent artifact —
+//! triangle enumeration, schedule compilation, compression, linking — is a
+//! pure function of the supports (`Â`, `B̂`, `X̂`), the placement, the
+//! algorithm and the compression flag; only value loading and execution
+//! depend on the runtime values. This crate exploits that split:
+//!
+//! * [`StructureKey`] — a 128-bit fingerprint of exactly the inputs that
+//!   plan compilation reads, built from two independent `mix64` streams
+//!   over a canonical serialization.
+//! * [`ScheduleCache`] — an LRU-bounded map from [`StructureKey`] to
+//!   `Arc<CompiledPlan>`. Misses compile, link and **lint** (via
+//!   `lowband-check::lint_linked`) the artifact once; hits are a hash
+//!   lookup. Hit/miss/eviction counts surface both on
+//!   [`ScheduleCache::stats`] and as `serve.cache.*` tracer counters.
+//! * [`run_batch`] / [`run_batch_traced`] — stream `K` seeded value-sets
+//!   through one cached plan, sequentially (one slot store, reset between
+//!   runs) or fanned across threads ([`lowband_core::BatchMode`]).
+//!
+//! The contract, locked down by the `batch` integration suite: a batch of
+//! `K` seeds is observationally identical to `K` independent
+//! [`lowband_core::run_algorithm`] calls — same rounds, same message
+//! counts, same extracted `X` — it just stops re-paying the
+//! structure-dependent work.
+
+pub mod batch;
+pub mod cache;
+pub mod key;
+
+pub use batch::{run_batch, run_batch_traced};
+pub use cache::{CacheStats, ScheduleCache, ServeError};
+pub use key::StructureKey;

@@ -30,7 +30,11 @@
 //!   [`core::run_resilient`](lowband_core::run_resilient);
 //! * [`check`] — the schedule invariant linter (per-round capacity,
 //!   same-round hazards, liveness, link fidelity) and the seeded
-//!   cross-executor differential fuzzer behind the `check` CI gate.
+//!   cross-executor differential fuzzer behind the `check` CI gate;
+//! * [`serve`] — the serving layer: a structure-keyed LRU cache of
+//!   compiled, linked, lint-checked schedules and batched multi-value
+//!   execution ([`serve::run_batch`](lowband_serve::run_batch)) that
+//!   compiles once and executes many.
 //!
 //! ## Quick start
 //!
@@ -59,3 +63,4 @@ pub use lowband_lower as lower;
 pub use lowband_matrix as matrix;
 pub use lowband_model as model;
 pub use lowband_routing as routing;
+pub use lowband_serve as serve;
