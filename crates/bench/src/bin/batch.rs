@@ -24,8 +24,8 @@ use std::time::Instant;
 
 use lowband_bench::report::{Json, JsonReport};
 use lowband_bench::{block_workload, TablePrinter};
-use lowband_core::{run_algorithm, Algorithm, BatchMode, Instance};
-use lowband_matrix::Fp;
+use lowband_core::{run_algorithm, Algorithm, BatchElement, BatchMode, Instance};
+use lowband_matrix::{Fp, Gf2};
 use lowband_serve::{run_batch, ScheduleCache};
 
 /// Median wall-clock of `iters` calls to `f`, in nanoseconds.
@@ -111,6 +111,8 @@ fn main() {
         artifact.section(
             "amortized",
             Json::Arr(vec![Json::obj()
+                .set("semiring", "Fp")
+                .set("lanes", 1u64)
                 .set("k", k as u64)
                 .set("cold_ns_per_run", cold_per_run)
                 .set("warm_ns_per_run", warm_per_run)
@@ -134,6 +136,7 @@ fn main() {
     );
 
     parallel_fanout(&mut artifact, &inst, algorithm, iters);
+    packed_lanes(&mut artifact, &inst, algorithm, iters);
 
     let s = cache.stats();
     artifact.section(
@@ -180,6 +183,8 @@ fn parallel_fanout(artifact: &mut JsonReport, inst: &Instance, algorithm: Algori
         artifact.section(
             "parallel",
             Json::Arr(vec![Json::obj()
+                .set("semiring", "Fp")
+                .set("lanes", 1u64)
                 .set("threads", threads as u64)
                 .set("ns_per_run", per_run)
                 .set("speedup", base / per_run)]),
@@ -190,4 +195,127 @@ fn parallel_fanout(artifact: &mut JsonReport, inst: &Instance, algorithm: Algori
             format!("{:.2}×", base / per_run),
         ]);
     }
+}
+
+/// The same K = 64 batch through struct-of-arrays lane planes: one
+/// interpretation of the cached schedule advances all lanes at once, so
+/// per-member decode cost falls by `1/LANES`. Per-member ns is printed
+/// side by side with the sequential and thread-fanned paths for the same
+/// semiring; the `Fp` packed/sequential ratio is the asserted gate, the
+/// bit-sliced `Gf2` ratio (64 members per `u64`) is reported alongside.
+fn packed_lanes(artifact: &mut JsonReport, inst: &Instance, algorithm: Algorithm, iters: usize) {
+    println!("\n# batch — K = 64 through packed lane planes (warm cache)\n");
+    let seeds = seeds_for(64);
+    let t = TablePrinter::new(
+        &["semiring", "mode", "lanes", "ns/member", "vs sequential"],
+        &[8, 12, 5, 14, 13],
+    );
+
+    let mut gate_ratio = f64::NAN;
+    let mut gate_lanes = 0usize;
+    for semiring in ["Fp", "Gf2"] {
+        // Measure the three warm modes for one value type; returns
+        // (mode label, lanes, ns/member) rows in print order.
+        let rows: Vec<(&str, usize, f64)> = match semiring {
+            "Fp" => measure_modes::<Fp>(inst, algorithm, &seeds, iters, true),
+            _ => measure_modes::<Gf2>(inst, algorithm, &seeds, iters, false),
+        };
+        let seq_ns = rows[0].2;
+        for &(mode, lanes, ns) in &rows {
+            let ratio = ns / seq_ns;
+            artifact.section(
+                "packed",
+                Json::Arr(vec![Json::obj()
+                    .set("semiring", semiring)
+                    .set("mode", mode)
+                    .set("lanes", lanes as u64)
+                    .set("k", seeds.len() as u64)
+                    .set("ns_per_member", ns)
+                    .set("vs_sequential", ratio)]),
+            );
+            t.row(&[
+                semiring.to_string(),
+                mode.to_string(),
+                lanes.to_string(),
+                format!("{ns:.0}"),
+                format!("{ratio:.3}"),
+            ]);
+            if mode == "packed" && semiring == "Fp" {
+                gate_ratio = ratio;
+                gate_lanes = lanes;
+            }
+        }
+    }
+    println!(
+        "\none schedule decode drives all lanes: the packed F_p path costs\n\
+         {:.0}% of the sequential warm path per member at {gate_lanes} lanes \
+         (gate: <= 50%).",
+        gate_ratio * 100.0
+    );
+    assert!(
+        gate_ratio <= 0.5,
+        "packed per-member cost must be <= 0.5x sequential at K = 64 for Fp, \
+         got {gate_ratio:.3} at {gate_lanes} lanes"
+    );
+}
+
+/// Warm per-member ns for sequential / parallel(4) / packed over one value
+/// type, in that row order (sequential first so callers can normalize).
+fn measure_modes<S: BatchElement>(
+    inst: &Instance,
+    algorithm: Algorithm,
+    seeds: &[u64],
+    iters: usize,
+    with_parallel: bool,
+) -> Vec<(&'static str, usize, f64)> {
+    let mut cache = ScheduleCache::new(4);
+    run_batch::<S>(
+        &mut cache,
+        inst,
+        algorithm,
+        &seeds[..1],
+        false,
+        BatchMode::Sequential,
+    )
+    .expect("priming run");
+    // Widest plane that still fits comfortably in cache (16 × u64 = two
+    // cache lines per slot; 32-lane planes already thrash L1 here),
+    // falling back to whatever the type supports (bit-sliced types only
+    // compile the 64-member word).
+    let lanes = S::LANE_WIDTHS
+        .iter()
+        .copied()
+        .filter(|&w| w <= 16)
+        .max()
+        .unwrap_or(*S::LANE_WIDTHS.last().expect("non-empty width menu"));
+    let mut modes: Vec<(&'static str, usize, BatchMode)> =
+        vec![("sequential", 1, BatchMode::Sequential)];
+    if with_parallel {
+        modes.push(("parallel(4)", 1, BatchMode::Parallel { threads: 4 }));
+    }
+    modes.push(("packed", lanes, BatchMode::Packed { lanes }));
+
+    // Interleave the modes round-robin so a noisy stretch of wall-clock
+    // (this box is shared) inflates every mode's samples equally instead
+    // of biasing whichever mode happened to be measured during it; the
+    // per-mode median then compares like with like.
+    let reps = iters * 2 + 1;
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); modes.len()];
+    for _ in 0..reps {
+        for (m, &(_, _, mode)) in modes.iter().enumerate() {
+            let t0 = Instant::now();
+            let reports = run_batch::<S>(&mut cache, inst, algorithm, seeds, false, mode)
+                .expect("warm batch");
+            samples[m].push(t0.elapsed().as_secs_f64() * 1e9);
+            assert!(reports.iter().all(|r| r.correct));
+        }
+    }
+    modes
+        .iter()
+        .zip(&mut samples)
+        .map(|(&(label, lanes, _), times)| {
+            times.sort_by(f64::total_cmp);
+            (label, lanes, times[times.len() / 2] / seeds.len() as f64)
+        })
+        .collect()
 }

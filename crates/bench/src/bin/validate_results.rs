@@ -17,7 +17,7 @@ use lowband_bench::report::{results_dir, validate_artifact, validate_required_se
 /// here only get the generic envelope check.
 const KNOWN: &[(&str, &[&str])] = &[
     ("recovery", &["checkpoint_overhead", "recovery_cost"]),
-    ("batch", &["amortized", "cache", "parallel"]),
+    ("batch", &["amortized", "cache", "parallel", "packed"]),
 ];
 
 fn main() {

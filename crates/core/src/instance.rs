@@ -12,7 +12,8 @@ use std::collections::HashMap;
 
 use lowband_matrix::{SparseMatrix, Support};
 use lowband_model::{
-    Key, LinkedMachine, LinkedSchedule, Machine, NodeId, ParallelMachine, Semiring,
+    Key, LinkedMachine, LinkedSchedule, Machine, NodeId, PackedLinkedMachine, PackedSemiring,
+    ParallelMachine, Semiring,
 };
 
 /// Assignment of the elements of one matrix to computers.
@@ -210,6 +211,12 @@ impl Instance {
         a: &SparseMatrix<S>,
         b: &SparseMatrix<S>,
     ) {
+        debug_assert_eq!(
+            machine.n(),
+            self.n,
+            "machine linked against a different plan than this instance \
+             (stale machine reused across CompiledPlans?)"
+        );
         machine.reset_values();
         self.load_values(machine, a, b);
     }
@@ -217,12 +224,26 @@ impl Instance {
     /// Read the computed output `X` off any executor backend (entries of
     /// interest that received no contribution are zero).
     pub fn extract_x_from<S: Semiring, M: ValueStore<S>>(&self, machine: &M) -> SparseMatrix<S> {
-        SparseMatrix::from_fn(self.xhat.clone(), |i, k| {
+        let mut out = SparseMatrix::zeros(self.xhat.clone());
+        self.extract_x_into(machine, &mut out);
+        out
+    }
+
+    /// [`Instance::extract_x_from`] overwriting a caller-owned matrix on
+    /// the `X̂` support — the allocation-free form batch verification
+    /// loops stream through one scratch output.
+    pub fn extract_x_into<S: Semiring, M: ValueStore<S>>(
+        &self,
+        machine: &M,
+        out: &mut SparseMatrix<S>,
+    ) {
+        debug_assert_eq!(out.support(), &self.xhat, "output support must be X̂");
+        out.refill_from_fn(|i, k| {
             machine.get_or_zero(
                 self.placement.x.owner(i, k),
                 Key::x(u64::from(i), u64::from(k)),
             )
-        })
+        });
     }
 
     /// Read the computed output `X` off a hash-map machine.
@@ -265,6 +286,139 @@ impl<S: Semiring> ValueStore<S> for LinkedMachine<'_, S> {
     }
     fn get_or_zero(&self, node: NodeId, key: Key) -> S {
         LinkedMachine::get_or_zero(self, node, key)
+    }
+}
+
+/// Where one support entry's value lives in a linked machine: its owner
+/// node plus either the interned dense slot or (for keys the schedule
+/// never touches) the side-map key.
+#[derive(Clone, Copy, Debug)]
+enum SiteRef {
+    /// Interned: `slots[node][slot]`.
+    Slot(u32),
+    /// Not interned by the schedule: lives in the `extra` side map.
+    Extra(Key),
+}
+
+/// Precomputed load/extract sites for one (instance, linked schedule)
+/// pair: the owner node and interned slot of every `A`, `B` and `X̂`
+/// support entry, in support iteration order ([`SparseMatrix::iter`]
+/// order). Pure structure — no value type anywhere — so one `PackedSites`
+/// serves every lane of every value-set streamed through the plan, making
+/// per-member loading hash-free: the placement lookups and key interning
+/// probes that [`Instance::load_values`] pays per value-set are paid once
+/// per plan here, the packed analogue of what linking does for the
+/// executor's inner loop.
+#[derive(Clone, Debug)]
+pub struct PackedSites {
+    a: Vec<(NodeId, SiteRef)>,
+    b: Vec<(NodeId, SiteRef)>,
+    x: Vec<(NodeId, SiteRef)>,
+}
+
+impl PackedSites {
+    /// Resolve every support entry of `inst` against `schedule`'s interned
+    /// layout.
+    pub fn new(inst: &Instance, schedule: &LinkedSchedule) -> PackedSites {
+        let resolve = |owner: &OwnerMap, support: &Support, key: fn(u64, u64) -> Key| {
+            support
+                .iter()
+                .map(|(i, j)| {
+                    let node = owner.owner(i, j);
+                    let key = key(u64::from(i), u64::from(j));
+                    let site = match schedule.slot_of(node, key) {
+                        Some(slot) => SiteRef::Slot(slot),
+                        None => SiteRef::Extra(key),
+                    };
+                    (node, site)
+                })
+                .collect()
+        };
+        PackedSites {
+            a: resolve(&inst.placement.a, &inst.ahat, Key::a),
+            b: resolve(&inst.placement.b, &inst.bhat, Key::b),
+            x: resolve(&inst.placement.x, &inst.xhat, Key::x),
+        }
+    }
+
+    /// Load one lane's value matrices through the precomputed sites —
+    /// equivalent to [`Instance::load_values`] through a
+    /// [`PackedLaneStore`], minus every per-entry hash probe.
+    pub fn load_lane<S: PackedSemiring<LANES>, const LANES: usize>(
+        &self,
+        machine: &mut PackedLinkedMachine<'_, S, LANES>,
+        lane: usize,
+        a: &SparseMatrix<S>,
+        b: &SparseMatrix<S>,
+    ) {
+        debug_assert_eq!(a.support().nnz(), self.a.len(), "A support mismatch");
+        debug_assert_eq!(b.support().nnz(), self.b.len(), "B support mismatch");
+        for (sites, matrix) in [(&self.a, a), (&self.b, b)] {
+            for (&(node, site), (_, _, v)) in sites.iter().zip(matrix.iter()) {
+                match site {
+                    SiteRef::Slot(slot) => machine.load_lane_slot(node, slot, lane, v.clone()),
+                    SiteRef::Extra(key) => machine.load_lane(node, key, lane, v.clone()),
+                }
+            }
+        }
+    }
+
+    /// Read one lane's computed `X` off the machine through the
+    /// precomputed sites — equivalent to [`Instance::extract_x_from`]
+    /// through a [`PackedLaneStore`], minus every per-entry hash probe.
+    pub fn extract_lane<S: PackedSemiring<LANES>, const LANES: usize>(
+        &self,
+        xhat: &Support,
+        machine: &PackedLinkedMachine<'_, S, LANES>,
+        lane: usize,
+    ) -> SparseMatrix<S> {
+        let mut out = SparseMatrix::zeros(xhat.clone());
+        self.extract_lane_into(machine, lane, &mut out);
+        out
+    }
+
+    /// [`PackedSites::extract_lane`] overwriting a caller-owned matrix on
+    /// the `X̂` support, so per-lane extraction in a batch reuses one
+    /// scratch allocation.
+    pub fn extract_lane_into<S: PackedSemiring<LANES>, const LANES: usize>(
+        &self,
+        machine: &PackedLinkedMachine<'_, S, LANES>,
+        lane: usize,
+        out: &mut SparseMatrix<S>,
+    ) {
+        debug_assert_eq!(out.support().nnz(), self.x.len(), "X̂ support mismatch");
+        let mut sites = self.x.iter();
+        out.refill_from_fn(|_, _| {
+            let &(node, site) = sites.next().expect("one site per X̂ entry");
+            match site {
+                SiteRef::Slot(slot) => machine.get_or_zero_lane_slot(node, slot, lane),
+                SiteRef::Extra(key) => machine.get_or_zero_lane(node, key, lane),
+            }
+        });
+    }
+}
+
+/// One lane of a [`PackedLinkedMachine`] viewed as a scalar [`ValueStore`]:
+/// lets the instance-loading and output-extraction paths address a single
+/// batch member of the struct-of-arrays executor exactly as they address a
+/// scalar machine. The packed batch runner loads lane `k` of each group
+/// through `PackedLaneStore { machine, lane: k }`, runs the plane machine
+/// once, then extracts each lane's output through the same adapter.
+pub struct PackedLaneStore<'m, 's, S: PackedSemiring<LANES>, const LANES: usize> {
+    /// The shared plane machine.
+    pub machine: &'m mut PackedLinkedMachine<'s, S, LANES>,
+    /// Which batch member this view addresses (`< LANES`).
+    pub lane: usize,
+}
+
+impl<S: PackedSemiring<LANES>, const LANES: usize> ValueStore<S>
+    for PackedLaneStore<'_, '_, S, LANES>
+{
+    fn load(&mut self, node: NodeId, key: Key, value: S) {
+        self.machine.load_lane(node, key, self.lane, value);
+    }
+    fn get_or_zero(&self, node: NodeId, key: Key) -> S {
+        self.machine.get_or_zero_lane(node, key, self.lane)
     }
 }
 

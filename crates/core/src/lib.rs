@@ -40,11 +40,11 @@ pub mod strassen;
 pub mod triangles;
 
 pub use classify::{classify, Classification};
-pub use instance::{Instance, Placement, ValueStore};
+pub use instance::{Instance, PackedLaneStore, PackedSites, Placement, ValueStore};
 pub use runner::{
     compile_plan, compile_plan_traced, compile_schedule, run_algorithm, run_algorithm_batch,
     run_algorithm_batch_traced, run_algorithm_traced, run_plan_batch, run_plan_batch_traced,
-    run_resilient, run_resilient_traced, Algorithm, BatchMode, CompiledPlan, ResilientReport,
-    RetryPolicy, RunReport,
+    run_resilient, run_resilient_traced, Algorithm, BatchElement, BatchMode, CompiledPlan,
+    ResilientReport, RetryPolicy, RunReport,
 };
 pub use triangles::{Triangle, TriangleSet};

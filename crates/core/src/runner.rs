@@ -7,12 +7,14 @@
 //! is what the benches print.
 
 use lowband_matrix::algebra::SampleElement;
-use lowband_matrix::{reference_multiply, SparseMatrix};
+use lowband_matrix::{
+    reference_multiply, reference_multiply_into, Bool, Fp, Gf2, MinPlus, SparseMatrix, Wrap64,
+};
 use lowband_model::faults::Fault;
 use lowband_model::parallel::shard_bounds;
 use lowband_model::{
-    ExecutionStats, FaultSpec, LinkedMachine, LinkedSchedule, ModelError, NoopTracer, RunWindow,
-    Schedule, Semiring, Tracer,
+    ExecutionStats, FaultSpec, LinkedMachine, LinkedSchedule, ModelError, NoopTracer,
+    PackedLinkedMachine, PackedSemiring, RunWindow, Schedule, Semiring, Tracer,
 };
 use rand::SeedableRng;
 
@@ -20,7 +22,7 @@ use crate::algorithms::{
     solve_bounded_triangles, solve_dense_cube, solve_trivial, solve_two_phase,
 };
 use crate::densemm::DenseEngine;
-use crate::instance::Instance;
+use crate::instance::{Instance, PackedSites};
 use crate::triangles::TriangleSet;
 
 /// Which algorithm to run.
@@ -90,7 +92,8 @@ pub fn run_algorithm_traced<S: Semiring + SampleElement, T: Tracer>(
 ) -> Result<RunReport, ModelError> {
     let plan = compile_plan_traced(inst, algorithm, compress, tracer)?;
     let mut machine: LinkedMachine<'_, S> = LinkedMachine::new(&plan.linked);
-    execute_seeded(inst, &plan, &mut machine, seed, tracer)
+    let mut scratch = ValueScratch::new(inst);
+    execute_seeded(inst, &plan, &mut machine, &mut scratch, seed, tracer)
 }
 
 /// The complete structure-dependent artifact of one (instance, algorithm,
@@ -154,6 +157,28 @@ pub fn compile_plan(
     compile_plan_traced(inst, algorithm, compress, &mut NoopTracer)
 }
 
+/// Per-plan scratch value-sets: the seeded inputs, extracted output and
+/// reference product, reused across every seed streamed through one plan
+/// so batch loops pay zero support-clone or matrix-allocation churn per
+/// member.
+struct ValueScratch<S: Semiring> {
+    a: SparseMatrix<S>,
+    b: SparseMatrix<S>,
+    got: SparseMatrix<S>,
+    want: SparseMatrix<S>,
+}
+
+impl<S: Semiring> ValueScratch<S> {
+    fn new(inst: &Instance) -> ValueScratch<S> {
+        ValueScratch {
+            a: SparseMatrix::zeros(inst.ahat.clone()),
+            b: SparseMatrix::zeros(inst.bhat.clone()),
+            got: SparseMatrix::zeros(inst.xhat.clone()),
+            want: SparseMatrix::zeros(inst.xhat.clone()),
+        }
+    }
+}
+
 /// Load the seed's value-set into `machine` (reusing its slot stores),
 /// execute, and verify — the per-value-set suffix of
 /// [`run_algorithm_traced`], identical spans (`"load"`, `"run"`,
@@ -162,23 +187,26 @@ fn execute_seeded<S: Semiring + SampleElement, T: Tracer>(
     inst: &Instance,
     plan: &CompiledPlan,
     machine: &mut LinkedMachine<'_, S>,
+    scratch: &mut ValueScratch<S>,
     seed: u64,
     tracer: &mut T,
 ) -> Result<RunReport, ModelError> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
-    let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
+    scratch.a.refill_random(&mut rng);
+    scratch.b.refill_random(&mut rng);
     tracer.span_enter("load");
-    inst.reload_linked(machine, &a, &b);
+    inst.reload_linked(machine, &scratch.a, &scratch.b);
     tracer.span_exit("load");
     tracer.span_enter("run");
     let run_result = machine.run_traced(tracer);
     tracer.span_exit("run");
     let stats = run_result?;
     tracer.span_enter("verify");
-    let got = inst.extract_x_from(machine);
-    let want = reference_multiply(&a, &b, &inst.xhat);
-    let correct = got == want;
+    inst.extract_x_into(machine, &mut scratch.got);
+    reference_multiply_into(&scratch.a, &scratch.b, &mut scratch.want);
+    // Both live on the X̂ support by construction, so value equality is
+    // full matrix equality.
+    let correct = scratch.got.values() == scratch.want.values();
     tracer.span_exit("verify");
     Ok(RunReport {
         rounds: stats.rounds,
@@ -205,6 +233,149 @@ pub enum BatchMode {
         /// Worker count; `0` = available parallelism.
         threads: usize,
     },
+    /// Struct-of-arrays lane planes: the seed list is sharded into groups
+    /// of `lanes` members and each group executes through ONE
+    /// interpretation of the linked schedule on a
+    /// [`PackedLinkedMachine`] — schedule-decode cost amortizes to
+    /// `1/lanes` per member, and the semiring ops autovectorize (or
+    /// bit-slice, for `Bool`/`Gf2`, at 64 members per `u64`). A ragged
+    /// tail group (`K % lanes ≠ 0`) pads its unused lanes with zero
+    /// planes that are excluded from the reports. Reports are
+    /// bit-identical to [`BatchMode::Sequential`] (throughput aside).
+    Packed {
+        /// Lane count; `0` selects [`BatchElement::DEFAULT_LANES`]. Must
+        /// otherwise be one of [`BatchElement::LANE_WIDTHS`] for the
+        /// value type, else [`ModelError::PackedLanesUnsupported`].
+        lanes: usize,
+    },
+}
+
+/// A value type the batch runners can drive — scalar machinery (sampling
+/// and semiring ops) plus the bridge from the *runtime* lane count in
+/// [`BatchMode::Packed`] to the *const-generic* packed monomorphizations:
+/// each implementor compiles a fixed menu of lane widths
+/// ([`BatchElement::LANE_WIDTHS`]) and dispatches into the matching
+/// [`PackedSemiring`] instantiation.
+///
+/// Word-sized algebras (`Fp`, `Wrap64`, `MinPlus`) compile array planes at
+/// widths 4/8/16/32/64 (default 8); the two-element algebras (`Bool`,
+/// `Gf2`) exist only bit-sliced at width 64, where a plane is one `u64`.
+pub trait BatchElement: Semiring + SampleElement {
+    /// Lane widths with a compiled packed monomorphization, ascending.
+    const LANE_WIDTHS: &'static [usize];
+    /// The width [`BatchMode::Packed`]`{ lanes: 0 }` selects.
+    const DEFAULT_LANES: usize;
+
+    /// Execute `seeds` through `plan` in lane groups of `lanes`,
+    /// monomorphized for this value type. Called by
+    /// [`run_plan_batch_traced`]; `lanes` must be in
+    /// [`BatchElement::LANE_WIDTHS`].
+    fn run_packed_batch_traced<T: Tracer>(
+        inst: &Instance,
+        plan: &CompiledPlan,
+        seeds: &[u64],
+        lanes: usize,
+        tracer: &mut T,
+    ) -> Result<Vec<RunReport>, ModelError>;
+}
+
+macro_rules! batch_element {
+    ($t:ty, default = $default:literal, widths = [$($w:literal),+ $(,)?]) => {
+        impl BatchElement for $t {
+            const LANE_WIDTHS: &'static [usize] = &[$($w),+];
+            const DEFAULT_LANES: usize = $default;
+
+            fn run_packed_batch_traced<T: Tracer>(
+                inst: &Instance,
+                plan: &CompiledPlan,
+                seeds: &[u64],
+                lanes: usize,
+                tracer: &mut T,
+            ) -> Result<Vec<RunReport>, ModelError> {
+                match lanes {
+                    $($w => packed_batch::<$t, $w, T>(inst, plan, seeds, tracer),)+
+                    other => Err(ModelError::PackedLanesUnsupported { lanes: other }),
+                }
+            }
+        }
+    };
+}
+
+batch_element!(Fp, default = 8, widths = [4, 8, 16, 32, 64]);
+batch_element!(Wrap64, default = 8, widths = [4, 8, 16, 32, 64]);
+batch_element!(MinPlus, default = 8, widths = [4, 8, 16, 32, 64]);
+batch_element!(Bool, default = 64, widths = [64]);
+batch_element!(Gf2, default = 64, widths = [64]);
+
+/// The packed analogue of streaming [`execute_seeded`] over the seed
+/// list: shard `seeds` into groups of `LANES`, load each group member
+/// into its lane, interpret the schedule ONCE per group, then verify each
+/// lane against the sequential reference product. Every member's values
+/// come from the same seeded RNG consumption as the scalar paths
+/// (`a` randomized before `b`), so the reports are bit-identical to
+/// [`BatchMode::Sequential`] — the tail group's unused lanes stay
+/// zero-padded and produce no report.
+fn packed_batch<S, const LANES: usize, T: Tracer>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seeds: &[u64],
+    tracer: &mut T,
+) -> Result<Vec<RunReport>, ModelError>
+where
+    S: PackedSemiring<LANES> + SampleElement,
+{
+    let mut machine: PackedLinkedMachine<'_, S, LANES> = PackedLinkedMachine::new(&plan.linked);
+    // Structure-only preprocessing, paid once per batch: the placement
+    // lookup and slot-interning probe of every support entry. Each lane's
+    // load/extract then streams through resolved `(node, slot)` sites.
+    let sites = PackedSites::new(inst, &plan.linked);
+    let mut reports = Vec::with_capacity(seeds.len());
+    // One pair of input scratch matrices per lane (each lane's values must
+    // survive until its verification) plus one shared output/reference
+    // pair — allocated once per batch, refilled in place per member.
+    let mut values: Vec<(SparseMatrix<S>, SparseMatrix<S>)> = (0..LANES.min(seeds.len()))
+        .map(|_| {
+            (
+                SparseMatrix::zeros(inst.ahat.clone()),
+                SparseMatrix::zeros(inst.bhat.clone()),
+            )
+        })
+        .collect();
+    let mut got: SparseMatrix<S> = SparseMatrix::zeros(inst.xhat.clone());
+    let mut want: SparseMatrix<S> = SparseMatrix::zeros(inst.xhat.clone());
+    for group in seeds.chunks(LANES) {
+        machine.reset_values();
+        tracer.span_enter("load");
+        for (lane, &seed) in group.iter().enumerate() {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let (a, b) = &mut values[lane];
+            a.refill_random(&mut rng);
+            b.refill_random(&mut rng);
+            sites.load_lane(&mut machine, lane, a, b);
+        }
+        tracer.span_exit("load");
+        tracer.span_enter("run");
+        let run_result = machine.run_traced(tracer);
+        tracer.span_exit("run");
+        let stats = run_result?;
+        tracer.span_enter("verify");
+        for (lane, (a, b)) in values[..group.len()].iter().enumerate() {
+            sites.extract_lane_into(&machine, lane, &mut got);
+            reference_multiply_into(a, b, &mut want);
+            reports.push(RunReport {
+                rounds: stats.rounds,
+                messages: stats.messages,
+                modeled_rounds: plan.modeled_rounds,
+                triangles: plan.triangles,
+                // Both live on the X̂ support, so value equality is full
+                // matrix equality.
+                correct: got.values() == want.values(),
+                events_per_sec: stats.events_per_sec(),
+            });
+        }
+        tracer.span_exit("verify");
+    }
+    Ok(reports)
 }
 
 /// Execute one seeded value-set per entry of `seeds` through a prepared
@@ -212,7 +383,7 @@ pub enum BatchMode {
 /// run's report is **bit-identical** (wall-clock throughput aside) to an
 /// independent [`run_algorithm`] call with the same seed — the batch path
 /// skips only the structure-dependent phases, never the verification.
-pub fn run_plan_batch_traced<S: Semiring + SampleElement, T: Tracer>(
+pub fn run_plan_batch_traced<S: BatchElement, T: Tracer>(
     inst: &Instance,
     plan: &CompiledPlan,
     seeds: &[u64],
@@ -221,11 +392,17 @@ pub fn run_plan_batch_traced<S: Semiring + SampleElement, T: Tracer>(
 ) -> Result<Vec<RunReport>, ModelError> {
     tracer.counter("batch.runs", seeds.len() as u64);
     match mode {
+        BatchMode::Packed { lanes } => {
+            let lanes = if lanes == 0 { S::DEFAULT_LANES } else { lanes };
+            tracer.counter("batch.lanes", lanes as u64);
+            S::run_packed_batch_traced(inst, plan, seeds, lanes, tracer)
+        }
         BatchMode::Sequential => {
             let mut machine: LinkedMachine<'_, S> = LinkedMachine::new(&plan.linked);
+            let mut scratch = ValueScratch::new(inst);
             seeds
                 .iter()
-                .map(|&seed| execute_seeded(inst, plan, &mut machine, seed, tracer))
+                .map(|&seed| execute_seeded(inst, plan, &mut machine, &mut scratch, seed, tracer))
                 .collect()
         }
         BatchMode::Parallel { threads } => {
@@ -252,6 +429,7 @@ pub fn run_plan_batch_traced<S: Semiring + SampleElement, T: Tracer>(
                             scope.spawn(move || {
                                 let mut machine: LinkedMachine<'_, S> =
                                     LinkedMachine::new(&plan.linked);
+                                let mut scratch = ValueScratch::new(inst);
                                 share
                                     .iter()
                                     .map(|&seed| {
@@ -259,6 +437,7 @@ pub fn run_plan_batch_traced<S: Semiring + SampleElement, T: Tracer>(
                                             inst,
                                             plan,
                                             &mut machine,
+                                            &mut scratch,
                                             seed,
                                             &mut NoopTracer,
                                         )
@@ -285,7 +464,7 @@ pub fn run_plan_batch_traced<S: Semiring + SampleElement, T: Tracer>(
 }
 
 /// [`run_plan_batch_traced`] without instrumentation.
-pub fn run_plan_batch<S: Semiring + SampleElement>(
+pub fn run_plan_batch<S: BatchElement>(
     inst: &Instance,
     plan: &CompiledPlan,
     seeds: &[u64],
@@ -297,7 +476,7 @@ pub fn run_plan_batch<S: Semiring + SampleElement>(
 /// Compile once, execute many: one structure-dependent compile + link,
 /// then every seed in `seeds` streamed through the resulting plan. The
 /// amortized counterpart of calling [`run_algorithm`] per seed.
-pub fn run_algorithm_batch<S: Semiring + SampleElement>(
+pub fn run_algorithm_batch<S: BatchElement>(
     inst: &Instance,
     algorithm: Algorithm,
     seeds: &[u64],
@@ -310,7 +489,7 @@ pub fn run_algorithm_batch<S: Semiring + SampleElement>(
 /// instrumentation sink observing the whole pipeline — the compile-phase
 /// spans fire once, the `"load"`/`"run"`/`"verify"` spans once per seed
 /// (sequential mode; the parallel fan-out runs workers unobserved).
-pub fn run_algorithm_batch_traced<S: Semiring + SampleElement, T: Tracer>(
+pub fn run_algorithm_batch_traced<S: BatchElement, T: Tracer>(
     inst: &Instance,
     algorithm: Algorithm,
     seeds: &[u64],
@@ -620,6 +799,69 @@ mod tests {
                 assert!(p.correct);
                 assert_eq!((s.rounds, s.messages), (p.rounds, p.messages));
             }
+        }
+    }
+
+    #[test]
+    fn packed_batch_matches_sequential_including_ragged_tails() {
+        let inst = us_instance(32, 3, 63);
+        let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).unwrap();
+        // K = 1, LANES−1, LANES, LANES+1 for lanes = 4.
+        for k in [1usize, 3, 4, 5] {
+            let seeds: Vec<u64> = (200..200 + k as u64).collect();
+            let seq = run_plan_batch::<Fp>(&inst, &plan, &seeds, BatchMode::Sequential).unwrap();
+            let packed =
+                run_plan_batch::<Fp>(&inst, &plan, &seeds, BatchMode::Packed { lanes: 4 }).unwrap();
+            assert_eq!(packed.len(), k, "tail lanes must not produce reports");
+            for (s, p) in seq.iter().zip(&packed) {
+                assert!(p.correct, "k={k}");
+                assert_eq!((s.rounds, s.messages), (p.rounds, p.messages));
+                assert_eq!(s.modeled_rounds, p.modeled_rounds);
+                assert_eq!(s.triangles, p.triangles);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_default_and_unsupported_lane_widths() {
+        let inst = us_instance(24, 3, 64);
+        let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).unwrap();
+        let seeds = [1u64, 2, 3];
+        // lanes = 0 selects the per-type default width.
+        assert_eq!(<Fp as BatchElement>::DEFAULT_LANES, 8);
+        assert_eq!(<Bool as BatchElement>::DEFAULT_LANES, 64);
+        let reports =
+            run_plan_batch::<Fp>(&inst, &plan, &seeds, BatchMode::Packed { lanes: 0 }).unwrap();
+        assert!(reports.iter().all(|r| r.correct));
+        // A width with no compiled monomorphization is rejected loudly.
+        assert!(matches!(
+            run_plan_batch::<Fp>(&inst, &plan, &seeds, BatchMode::Packed { lanes: 7 }),
+            Err(ModelError::PackedLanesUnsupported { lanes: 7 })
+        ));
+        assert!(matches!(
+            run_plan_batch::<Bool>(&inst, &plan, &seeds, BatchMode::Packed { lanes: 8 }),
+            Err(ModelError::PackedLanesUnsupported { lanes: 8 })
+        ));
+    }
+
+    #[test]
+    fn packed_bit_sliced_semirings_match_sequential() {
+        let inst = us_instance(24, 3, 65);
+        let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).unwrap();
+        let seeds: Vec<u64> = (300..310).collect();
+        let seq_bool = run_plan_batch::<Bool>(&inst, &plan, &seeds, BatchMode::Sequential).unwrap();
+        let packed_bool =
+            run_plan_batch::<Bool>(&inst, &plan, &seeds, BatchMode::Packed { lanes: 64 }).unwrap();
+        for (s, p) in seq_bool.iter().zip(&packed_bool) {
+            assert!(p.correct);
+            assert_eq!((s.rounds, s.messages), (p.rounds, p.messages));
+        }
+        let seq_gf2 = run_plan_batch::<Gf2>(&inst, &plan, &seeds, BatchMode::Sequential).unwrap();
+        let packed_gf2 =
+            run_plan_batch::<Gf2>(&inst, &plan, &seeds, BatchMode::Packed { lanes: 64 }).unwrap();
+        for (s, p) in seq_gf2.iter().zip(&packed_gf2) {
+            assert!(p.correct);
+            assert_eq!((s.rounds, s.messages), (p.rounds, p.messages));
         }
     }
 

@@ -11,7 +11,7 @@
 //!   fast dense multiplication; examples here are the Mersenne prime field
 //!   [`Fp`] (`p = 2⁶¹ − 1`) and the wrapping ring [`Wrap64`].
 
-use lowband_model::algebra::{Field, Ring, Semiring};
+use lowband_model::algebra::{Field, PackedSemiring, Ring, Semiring};
 use rand::Rng;
 
 /// Sampling random elements, for seeded instance generation.
@@ -326,6 +326,118 @@ impl SampleElement for Wrap64 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Packed lane planes
+// ---------------------------------------------------------------------------
+//
+// Array planes for the word-sized algebras: `[S; LANES]` with plain lane
+// loops the compiler autovectorizes. Generic over the lane count, so the
+// batch runner can pick any width `1..=64`.
+lowband_model::impl_packed_semiring_array!(Fp);
+lowband_model::impl_packed_semiring_array!(Wrap64);
+lowband_model::impl_packed_semiring_array!(MinPlus);
+
+// Bit-sliced planes for the two-element algebras: a plane is ONE `u64`
+// whose bit `i` is lane `i`, so a packed add/mul is a single bitwise
+// instruction advancing 64 batch members at once. These exist only at
+// `LANES = 64` — a narrower width would waste the word, and the blanket
+// array macro is deliberately not applied to `Bool`/`Gf2` so the lane
+// count uniquely selects the bit-sliced representation.
+
+impl PackedSemiring<64> for Bool {
+    type Plane = u64;
+
+    #[inline]
+    fn packed_zero() -> u64 {
+        0
+    }
+    #[inline]
+    fn splat(value: &Self) -> u64 {
+        if value.0 {
+            !0
+        } else {
+            0
+        }
+    }
+    #[inline]
+    fn packed_add(lhs: &u64, rhs: &u64) -> u64 {
+        lhs | rhs // ∨ per lane
+    }
+    #[inline]
+    fn packed_mul(lhs: &u64, rhs: &u64) -> u64 {
+        lhs & rhs // ∧ per lane
+    }
+    #[inline]
+    fn packed_mul_add(acc: &u64, lhs: &u64, rhs: &u64) -> u64 {
+        acc | (lhs & rhs)
+    }
+    #[inline]
+    fn extract(plane: &u64, lane: usize) -> Self {
+        Bool(plane >> lane & 1 == 1)
+    }
+    #[inline]
+    fn insert(plane: &mut u64, lane: usize, value: Self) {
+        *plane = *plane & !(1 << lane) | u64::from(value.0) << lane;
+    }
+    #[inline]
+    fn zero_mask(plane: &u64) -> u64 {
+        !plane
+    }
+    #[inline]
+    fn lane_digest(plane: &u64, lane: usize) -> u64 {
+        plane >> lane & 1
+    }
+}
+
+impl PackedSemiring<64> for Gf2 {
+    type Plane = u64;
+
+    #[inline]
+    fn packed_zero() -> u64 {
+        0
+    }
+    #[inline]
+    fn splat(value: &Self) -> u64 {
+        if value.0 {
+            !0
+        } else {
+            0
+        }
+    }
+    #[inline]
+    fn packed_add(lhs: &u64, rhs: &u64) -> u64 {
+        lhs ^ rhs // ⊕ per lane
+    }
+    #[inline]
+    fn packed_mul(lhs: &u64, rhs: &u64) -> u64 {
+        lhs & rhs
+    }
+    #[inline]
+    fn packed_mul_add(acc: &u64, lhs: &u64, rhs: &u64) -> u64 {
+        acc ^ (lhs & rhs)
+    }
+    #[inline]
+    fn extract(plane: &u64, lane: usize) -> Self {
+        Gf2(plane >> lane & 1 == 1)
+    }
+    #[inline]
+    fn insert(plane: &mut u64, lane: usize, value: Self) {
+        *plane = *plane & !(1 << lane) | u64::from(value.0) << lane;
+    }
+    #[inline]
+    fn zero_mask(plane: &u64) -> u64 {
+        !plane
+    }
+    #[inline]
+    fn packed_try_neg(plane: &u64) -> Option<u64> {
+        Some(*plane) // characteristic 2: −x = x, lane-wise
+    }
+    #[inline]
+    fn lane_digest(plane: &u64, lane: usize) -> u64 {
+        plane >> lane & 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,5 +534,118 @@ mod tests {
             assert!(!Bool::sample_nonzero(&mut rng).is_zero());
             assert!(!MinPlus::sample_nonzero(&mut rng).is_zero());
         }
+    }
+
+    /// Every packed op over array planes must agree lane-by-lane with the
+    /// scalar op — spot-checked here for the three word-sized algebras,
+    /// with values that exercise wrap-around, the Mersenne modulus, and
+    /// tropical saturation (`∞`).
+    #[test]
+    fn packed_array_planes_agree_with_scalar() {
+        use rand::SeedableRng;
+        const L: usize = 8;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+
+        fn check<S: PackedSemiring<8, Plane = [S; 8]> + Copy>(a: [S; 8], b: [S; 8]) {
+            let sum = S::packed_add(&a, &b);
+            let prod = S::packed_mul(&a, &b);
+            let fma = S::packed_mul_add(&sum, &a, &b);
+            for lane in 0..8 {
+                assert_eq!(sum[lane], a[lane].add(&b[lane]));
+                assert_eq!(prod[lane], a[lane].mul(&b[lane]));
+                assert_eq!(fma[lane], sum[lane].add(&prod[lane]));
+                assert_eq!(S::extract(&a, lane), a[lane]);
+            }
+            assert_eq!(S::zero_mask(&S::packed_zero()) & 0xFF, 0xFF);
+        }
+
+        check::<Fp>(
+            std::array::from_fn(|_| Fp::sample_nonzero(&mut rng)),
+            std::array::from_fn(|_| Fp::sample_nonzero(&mut rng)),
+        );
+        check::<Wrap64>(
+            std::array::from_fn(|i| Wrap64(u64::MAX - i as u64)),
+            std::array::from_fn(|_| Wrap64::sample_nonzero(&mut rng)),
+        );
+        check::<MinPlus>(
+            std::array::from_fn(|i| {
+                if i % 3 == 0 {
+                    MinPlus::zero()
+                } else {
+                    MinPlus::weight(i as u64)
+                }
+            }),
+            std::array::from_fn(|i| MinPlus::weight(2 * i as u64)),
+        );
+
+        // try_neg: lane-wise negation for the ring, refusal for MinPlus.
+        let w: [Wrap64; L] = std::array::from_fn(|i| Wrap64(i as u64 + 1));
+        let neg = <Wrap64 as PackedSemiring<L>>::packed_try_neg(&w).unwrap();
+        for lane in 0..L {
+            assert_eq!(neg[lane], w[lane].neg());
+        }
+        let t: [MinPlus; L] = std::array::from_fn(|i| MinPlus::weight(i as u64));
+        assert!(<MinPlus as PackedSemiring<L>>::packed_try_neg(&t).is_none());
+    }
+
+    /// The bit-sliced `u64` planes: bit `i` is lane `i`, add/mul are one
+    /// bitwise op, and every lane agrees with the scalar algebra —
+    /// including the characteristic-2 distinction (`Bool` or vs `Gf2`
+    /// xor) and `Gf2`'s self-inverse negation.
+    #[test]
+    fn packed_bit_sliced_planes_agree_with_scalar() {
+        let a: u64 = 0b1100_1010_0101_0011;
+        let b: u64 = 0b1010_0110_0011_0101;
+
+        let or = <Bool as PackedSemiring<64>>::packed_add(&a, &b);
+        let xor = <Gf2 as PackedSemiring<64>>::packed_add(&a, &b);
+        let and_bool = <Bool as PackedSemiring<64>>::packed_mul(&a, &b);
+        let and_gf2 = <Gf2 as PackedSemiring<64>>::packed_mul(&a, &b);
+        for lane in 0..64 {
+            let (ab, bb) = (a >> lane & 1 == 1, b >> lane & 1 == 1);
+            assert_eq!(
+                <Bool as PackedSemiring<64>>::extract(&or, lane),
+                Bool(ab).add(&Bool(bb))
+            );
+            assert_eq!(
+                <Gf2 as PackedSemiring<64>>::extract(&xor, lane),
+                Gf2(ab).add(&Gf2(bb))
+            );
+            assert_eq!(
+                <Bool as PackedSemiring<64>>::extract(&and_bool, lane),
+                Bool(ab).mul(&Bool(bb))
+            );
+            assert_eq!(
+                <Gf2 as PackedSemiring<64>>::extract(&and_gf2, lane),
+                Gf2(ab).mul(&Gf2(bb))
+            );
+        }
+
+        // Fused mul-add matches compose-of-parts.
+        let acc: u64 = 0b1111_0000;
+        assert_eq!(
+            <Bool as PackedSemiring<64>>::packed_mul_add(&acc, &a, &b),
+            acc | (a & b)
+        );
+        assert_eq!(
+            <Gf2 as PackedSemiring<64>>::packed_mul_add(&acc, &a, &b),
+            acc ^ (a & b)
+        );
+
+        // splat / insert / zero_mask round-trips.
+        assert_eq!(<Bool as PackedSemiring<64>>::splat(&Bool(true)), !0);
+        assert_eq!(<Gf2 as PackedSemiring<64>>::splat(&Gf2(false)), 0);
+        let mut p = <Bool as PackedSemiring<64>>::packed_zero();
+        <Bool as PackedSemiring<64>>::insert(&mut p, 63, Bool(true));
+        <Bool as PackedSemiring<64>>::insert(&mut p, 5, Bool(true));
+        <Bool as PackedSemiring<64>>::insert(&mut p, 63, Bool(false));
+        assert_eq!(p, 1 << 5);
+        assert_eq!(<Bool as PackedSemiring<64>>::zero_mask(&p), !(1 << 5));
+        assert_eq!(<Bool as PackedSemiring<64>>::lane_digest(&p, 5), 1);
+        assert_eq!(<Bool as PackedSemiring<64>>::lane_digest(&p, 6), 0);
+
+        // Gf2 negation is the identity, lane-wise; Bool has none.
+        assert_eq!(<Gf2 as PackedSemiring<64>>::packed_try_neg(&a), Some(a));
+        assert!(<Bool as PackedSemiring<64>>::packed_try_neg(&a).is_none());
     }
 }

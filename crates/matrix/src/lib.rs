@@ -39,7 +39,7 @@ pub use algebra::{Bool, Fp, Gf2, MinPlus, SampleElement, Wrap64};
 pub use classes::{SparsityClass, SparsityProfile};
 pub use degeneracy::{bd_split, degeneracy, EliminationStep};
 pub use dense::DenseMatrix;
-pub use sparse::{reference_multiply, SparseMatrix};
+pub use sparse::{reference_multiply, reference_multiply_into, SparseMatrix};
 pub use support::Support;
 
 // Re-export the algebra traits so downstream crates have one import path.

@@ -38,19 +38,54 @@ impl<S: Semiring> SparseMatrix<S> {
         }
     }
 
-    /// Build by evaluating `f(i, j)` on every support entry.
+    /// Build by evaluating `f(i, j)` on every support entry, in row-major
+    /// order (the same order [`Support::iter`] walks, so `f` may consume a
+    /// deterministic RNG stream).
     pub fn from_fn(support: Support, mut f: impl FnMut(u32, u32) -> S) -> SparseMatrix<S> {
-        let mut m = SparseMatrix::zeros(support);
-        let entries: Vec<(u32, u32)> = m.support.iter().collect();
-        for (idx, (i, j)) in entries.into_iter().enumerate() {
-            m.values[idx] = f(i, j);
+        let mut row_start = Vec::with_capacity(support.rows() + 1);
+        let mut acc = 0usize;
+        row_start.push(0);
+        for i in 0..support.rows() as u32 {
+            acc += support.row_nnz(i);
+            row_start.push(acc);
         }
-        m
+        let values: Vec<S> = support.iter().map(|(i, j)| f(i, j)).collect();
+        SparseMatrix {
+            values,
+            support,
+            row_start,
+        }
+    }
+
+    /// Overwrite every value by evaluating `f(i, j)` on the support
+    /// entries, in the same row-major order as [`SparseMatrix::from_fn`] —
+    /// the allocation-free path batch loops use to stream value-sets
+    /// through one scratch matrix.
+    pub fn refill_from_fn(&mut self, mut f: impl FnMut(u32, u32) -> S) {
+        let values = &mut self.values;
+        for ((i, j), v) in self.support.iter().zip(values.iter_mut()) {
+            *v = f(i, j);
+        }
+    }
+
+    /// Overwrite with random nonzero values, consuming `rng` exactly as
+    /// [`SparseMatrix::randomize`] does (so a seeded stream yields the
+    /// same matrix either way).
+    pub fn refill_random<R: Rng + ?Sized>(&mut self, rng: &mut R)
+    where
+        S: SampleElement,
+    {
+        self.refill_from_fn(|_, _| S::sample_nonzero(rng));
     }
 
     /// The support.
     pub fn support(&self) -> &Support {
         &self.support
+    }
+
+    /// All values in row-major (support iteration) order.
+    pub fn values(&self) -> &[S] {
+        &self.values
     }
 
     /// Number of rows.
@@ -126,25 +161,52 @@ pub fn reference_multiply<S: Semiring>(
     b: &SparseMatrix<S>,
     xhat: &Support,
 ) -> SparseMatrix<S> {
-    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    assert_eq!(xhat.rows(), a.rows(), "X̂ rows must match A rows");
-    assert_eq!(xhat.cols(), b.cols(), "X̂ cols must match B cols");
     let mut x: SparseMatrix<S> = SparseMatrix::zeros(xhat.clone());
+    reference_multiply_into(a, b, &mut x);
+    x
+}
+
+/// [`reference_multiply`] accumulating into a caller-owned output matrix
+/// (whose support is the `X̂` mask), so batch loops verifying thousands of
+/// value-sets against one structure reuse a single allocation.
+pub fn reference_multiply_into<S: Semiring>(
+    a: &SparseMatrix<S>,
+    b: &SparseMatrix<S>,
+    x: &mut SparseMatrix<S>,
+) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(x.rows(), a.rows(), "X̂ rows must match A rows");
+    assert_eq!(x.cols(), b.cols(), "X̂ cols must match B cols");
+    for v in &mut x.values {
+        *v = S::zero();
+    }
+    let xhat = &x.support;
+    // Scatter index: column k → offset inside X̂'s current row, `u32::MAX`
+    // when k is off-support. Stamped per row so the hot triple loop does an
+    // O(1) array lookup instead of a binary search per product term.
+    let mut col_off: Vec<u32> = vec![u32::MAX; xhat.cols()];
     // For every i: accumulate row i of A times B, touching only X̂'s row.
     for i in 0..a.rows() as u32 {
-        if xhat.row_nnz(i) == 0 {
+        let xrow = xhat.row(i);
+        if xrow.is_empty() {
             continue;
+        }
+        for (o, &k) in xrow.iter().enumerate() {
+            col_off[k as usize] = o as u32;
         }
         for (&j, av) in a.support().row(i).iter().zip(a.row_values(i)) {
             for (&k, bv) in b.support().row(j).iter().zip(b.row_values(j)) {
-                if let Some(o) = xhat.row_offset(i, k) {
-                    let idx = x.row_start[i as usize] + o;
+                let o = col_off[k as usize];
+                if o != u32::MAX {
+                    let idx = x.row_start[i as usize] + o as usize;
                     x.values[idx] = x.values[idx].add(&av.mul(bv));
                 }
             }
         }
+        for &k in xrow {
+            col_off[k as usize] = u32::MAX;
+        }
     }
-    x
 }
 
 #[cfg(test)]

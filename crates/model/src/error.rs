@@ -57,6 +57,13 @@ pub enum ModelError {
         /// Step index whose sharded application lost a worker.
         step: usize,
     },
+    /// A packed (lane-plane) batch was requested with a lane count the
+    /// value type has no `PackedSemiring` monomorphization for — e.g. the
+    /// bit-sliced Boolean planes exist only at 64 lanes per word.
+    PackedLanesUnsupported {
+        /// The rejected lane count.
+        lanes: usize,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -97,6 +104,12 @@ impl std::fmt::Display for ModelError {
             }
             ModelError::WorkerPanicked { step } => {
                 write!(f, "step {step}: a parallel worker thread panicked")
+            }
+            ModelError::PackedLanesUnsupported { lanes } => {
+                write!(
+                    f,
+                    "no packed {lanes}-lane execution is compiled in for this value type"
+                )
             }
         }
     }

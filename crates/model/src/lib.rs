@@ -63,12 +63,13 @@ pub mod schedule;
 pub mod serial;
 pub mod stats;
 
-pub use algebra::Semiring;
+pub use algebra::{PackedSemiring, Semiring};
 pub use compress::{compress, compress_traced};
 pub use error::ModelError;
 pub use key::Key;
 pub use link::{
     link, link_traced, LinkedMachine, LinkedOp, LinkedSchedule, LinkedStepView, LinkedTransfer,
+    PackedLinkedMachine,
 };
 pub use machine::{ExecutionStats, Machine};
 pub use parallel::ParallelMachine;

@@ -36,7 +36,7 @@ use lowband_trace::{NoopTracer, RoundEvent, Tracer};
 use crate::parallel::shard_bounds;
 use crate::recovery::{Checkpoint, RunWindow};
 use crate::schedule::{LocalOp, Merge, Round, Step};
-use crate::{ExecutionStats, Key, ModelError, NodeId, Schedule, Semiring};
+use crate::{ExecutionStats, Key, ModelError, NodeId, PackedSemiring, Schedule, Semiring};
 
 /// One message in slot-addressed form:
 /// `dst.slots[dst_slot] ← merge(dst.slots[dst_slot], src.slots[src_slot])`.
@@ -809,6 +809,16 @@ impl<'s, V: Semiring> LinkedMachine<'s, V> {
     /// allocation cost once per [`LinkedSchedule`] instead of once per
     /// value-set (see `Instance::reload_linked` in `lowband-core`).
     pub fn reset_values(&mut self) {
+        debug_assert!(
+            self.slots.len() == self.schedule.n
+                && self
+                    .slots
+                    .iter()
+                    .zip(&self.schedule.node_keys)
+                    .all(|(slots, keys)| slots.len() == keys.len()),
+            "slot stores diverged from the linked schedule's interned layout \
+             (stale machine reused against a different compiled plan?)"
+        );
         for slots in &mut self.slots {
             slots.iter_mut().for_each(|cell| *cell = None);
         }
@@ -1140,6 +1150,487 @@ fn apply_linked_op<V: Semiring>(
     Ok(())
 }
 
+/// Struct-of-arrays batched executor for a [`LinkedSchedule`]: every slot
+/// stores a *lane plane* of `LANES` independent values
+/// ([`PackedSemiring::Plane`]), so one interpretation of the schedule —
+/// one pass over the linked steps, one decode per transfer and op —
+/// advances `LANES` batch members at once. Schedule-decode cost amortizes
+/// to `1/LANES` per member and the semiring ops become straight-line
+/// plane loops (bit-sliced `u64` ops for two-element algebras: 64 members
+/// per word).
+///
+/// The machine executes the *same* [`LinkedSchedule`] as
+/// [`LinkedMachine`], unmodified — `BlockMulAdd` side-tables included —
+/// and every lane's store evolution is bit-identical to a scalar run of
+/// that lane's values (the packed ≡ sequential suite in `tests/batch.rs`
+/// asserts this across semirings). Presence is plane-level: a slot is
+/// occupied iff *any* lane loaded it, and unloaded lanes of an occupied
+/// plane read as [`Semiring::zero`]. The batch runners always load every
+/// lane with value-sets over the same supports, so plane presence
+/// coincides with each member's scalar presence; tail lanes of a ragged
+/// batch (`K % LANES ≠ 0`) stay zero-padded and are simply not reported.
+///
+/// Fault-guarded runs keep **per-lane** rolling round checksums
+/// ([`PackedSemiring::lane_digest`]), so in-flight corruption is detected
+/// *and localized to the batch member it hit* (`fault.detected.lane`
+/// tracer event); a dropped message affects the physical plane, i.e.
+/// every lane, exactly as one lost wire message would.
+#[derive(Clone, Debug)]
+pub struct PackedLinkedMachine<'s, V: PackedSemiring<LANES>, const LANES: usize> {
+    schedule: &'s LinkedSchedule,
+    slots: Vec<Vec<Option<V::Plane>>>,
+    extra: Vec<HashMap<Key, V::Plane>>,
+}
+
+impl<'s, V: PackedSemiring<LANES>, const LANES: usize> PackedLinkedMachine<'s, V, LANES> {
+    /// Create an empty packed machine sized for `schedule`; all planes
+    /// start absent. `LANES` must be `1..=64` (a zero mask is one `u64`).
+    pub fn new(schedule: &'s LinkedSchedule) -> PackedLinkedMachine<'s, V, LANES> {
+        const {
+            assert!(
+                LANES >= 1 && LANES <= 64,
+                "lane planes carry 1..=64 members"
+            );
+        }
+        PackedLinkedMachine {
+            schedule,
+            slots: schedule
+                .node_keys
+                .iter()
+                .map(|keys| vec![None; keys.len()])
+                .collect(),
+            extra: vec![HashMap::new(); schedule.n],
+        }
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.schedule.n
+    }
+
+    /// Lane count (batch members per plane).
+    pub fn lanes(&self) -> usize {
+        LANES
+    }
+
+    /// The schedule this machine is linked against.
+    pub fn schedule(&self) -> &'s LinkedSchedule {
+        self.schedule
+    }
+
+    /// Place `value` under `key` at `node` in lane `lane`. The first load
+    /// into an absent plane zero-fills the other lanes.
+    pub fn load_lane(&mut self, node: NodeId, key: Key, lane: usize, value: V) {
+        debug_assert!(lane < LANES, "lane {lane} out of range for {LANES} lanes");
+        let plane = match self.schedule.node_slots[node.index()].get(&key) {
+            Some(&slot) => {
+                self.slots[node.index()][slot as usize].get_or_insert_with(V::packed_zero)
+            }
+            None => self.extra[node.index()]
+                .entry(key)
+                .or_insert_with(V::packed_zero),
+        };
+        V::insert(plane, lane, value);
+    }
+
+    /// [`PackedLinkedMachine::load_lane`] with the slot already resolved
+    /// (`slot < ` [`LinkedSchedule::slots_at`]` (node)`): the hash-free
+    /// fast path for batch loaders that precompute each support entry's
+    /// `(node, slot)` site once per plan and then stream `LANES`
+    /// value-sets through it — interning is structure-only work, so it
+    /// amortizes across the whole batch exactly like the schedule decode.
+    #[inline]
+    pub fn load_lane_slot(&mut self, node: NodeId, slot: u32, lane: usize, value: V) {
+        debug_assert!(lane < LANES, "lane {lane} out of range for {LANES} lanes");
+        let plane = self.slots[node.index()][slot as usize].get_or_insert_with(V::packed_zero);
+        V::insert(plane, lane, value);
+    }
+
+    /// [`PackedLinkedMachine::get_or_zero_lane`] with the slot already
+    /// resolved — the hash-free extraction counterpart of
+    /// [`PackedLinkedMachine::load_lane_slot`].
+    #[inline]
+    pub fn get_or_zero_lane_slot(&self, node: NodeId, slot: u32, lane: usize) -> V {
+        match &self.slots[node.index()][slot as usize] {
+            Some(plane) => V::extract(plane, lane),
+            None => V::zero(),
+        }
+    }
+
+    /// Read lane `lane` of the value under `key` at `node`, if the plane
+    /// is occupied (an occupied plane's unloaded lanes read as zero).
+    pub fn get_lane(&self, node: NodeId, key: Key, lane: usize) -> Option<V> {
+        debug_assert!(lane < LANES, "lane {lane} out of range for {LANES} lanes");
+        let plane = match self.schedule.node_slots[node.index()].get(&key) {
+            Some(&slot) => self.slots[node.index()][slot as usize].as_ref(),
+            None => self.extra[node.index()].get(&key),
+        };
+        plane.map(|p| V::extract(p, lane))
+    }
+
+    /// Read lane `lane` of the value under `key` at `node`, or zero.
+    pub fn get_or_zero_lane(&self, node: NodeId, key: Key, lane: usize) -> V {
+        self.get_lane(node, key, lane).unwrap_or_else(V::zero)
+    }
+
+    /// One lane's full key–value store at `node` as a hash map — directly
+    /// comparable against [`LinkedMachine::snapshot`] of a scalar run of
+    /// that lane's values.
+    pub fn snapshot_lane(&self, node: NodeId, lane: usize) -> HashMap<Key, V> {
+        let i = node.index();
+        let mut map: HashMap<Key, V> = self.extra[i]
+            .iter()
+            .map(|(k, p)| (*k, V::extract(p, lane)))
+            .collect();
+        for (slot, plane) in self.slots[i].iter().enumerate() {
+            if let Some(p) = plane {
+                map.insert(self.schedule.node_keys[i][slot], V::extract(p, lane));
+            }
+        }
+        map
+    }
+
+    /// Empty every plane and side map in place, keeping every allocation —
+    /// the packed analogue of [`LinkedMachine::reset_values`], and the
+    /// same compile-once/execute-many primitive: a serving loop streams
+    /// lane groups through one machine by alternating `reset_values` →
+    /// load → run.
+    pub fn reset_values(&mut self) {
+        debug_assert!(
+            self.slots.len() == self.schedule.n
+                && self
+                    .slots
+                    .iter()
+                    .zip(&self.schedule.node_keys)
+                    .all(|(slots, keys)| slots.len() == keys.len()),
+            "plane stores diverged from the linked schedule's interned layout \
+             (stale machine reused against a different compiled plan?)"
+        );
+        for slots in &mut self.slots {
+            slots.iter_mut().for_each(|cell| *cell = None);
+        }
+        for extra in &mut self.extra {
+            extra.clear();
+        }
+    }
+
+    /// Execute the linked schedule once, advancing all `LANES` lanes.
+    /// Each lane's store mutations are bit-identical to a scalar
+    /// [`LinkedMachine::run`] over that lane's values.
+    pub fn run(&mut self) -> Result<ExecutionStats, ModelError> {
+        self.run_traced(&mut NoopTracer)
+    }
+
+    /// [`PackedLinkedMachine::run`] with an instrumentation sink: the
+    /// same per-round [`RoundEvent`] stream, `run.local_ops` counters and
+    /// per-node send/receive loads as the scalar executor — one event per
+    /// *physical* round, not per lane.
+    pub fn run_traced<T: Tracer>(&mut self, tracer: &mut T) -> Result<ExecutionStats, ModelError> {
+        let mut stats = ExecutionStats::default();
+        self.run_guarded(tracer, &mut NoopFaults, RunWindow::full(), &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Fault-guarded, windowed variant of [`PackedLinkedMachine::run_traced`];
+    /// same window contract as [`LinkedMachine::run_guarded`] (source-step
+    /// resume cursors). Under an enabled [`FaultHook`] the machine keeps
+    /// one rolling checksum **per lane**: a `Tamper::Corrupt` perturbs a
+    /// single deterministic lane (`round % LANES`), and the resulting
+    /// [`ModelError::Corruption`] is preceded by a `fault.detected.lane`
+    /// tracer event naming the corrupted member's lane — detection
+    /// localizes the member, not just the round. A `Tamper::Drop` loses
+    /// the physical message, i.e. every lane of the plane at once.
+    pub fn run_guarded<T: Tracer, F: FaultHook>(
+        &mut self,
+        tracer: &mut T,
+        faults: &mut F,
+        window: RunWindow,
+        stats: &mut ExecutionStats,
+    ) -> Result<Option<usize>, ModelError> {
+        let start = Instant::now();
+        let result = self.run_window(tracer, faults, window, stats);
+        stats.elapsed += start.elapsed();
+        result
+    }
+
+    fn run_window<T: Tracer, F: FaultHook>(
+        &mut self,
+        tracer: &mut T,
+        faults: &mut F,
+        window: RunWindow,
+        stats: &mut ExecutionStats,
+    ) -> Result<Option<usize>, ModelError> {
+        let schedule = self.schedule;
+        let mut inbox: Vec<V::Plane> = Vec::new();
+        let mut keep: Vec<usize> = Vec::new();
+        let (mut node_sends, mut node_recvs) = if T::ENABLED {
+            (vec![0u64; schedule.n], vec![0u64; schedule.n])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut ops_since_round = 0u64;
+        let mut window_rounds = 0usize;
+        let first = window.start_step.min(schedule.steps.len());
+        for lstep in &schedule.steps[first..] {
+            match lstep {
+                LinkedStep::Comm { transfers, step } => {
+                    if window_rounds == window.max_rounds {
+                        if T::ENABLED {
+                            tracer.node_loads(&node_sends, &node_recvs);
+                        }
+                        return Ok(Some(*step));
+                    }
+                    window_rounds += 1;
+                    if F::ENABLED {
+                        if let Some(victim) = faults.crash(stats.rounds) {
+                            if (victim as usize) < schedule.n {
+                                if T::ENABLED {
+                                    tracer.fault("fault.injected.crash", stats.rounds as u64);
+                                }
+                                self.slots[victim as usize]
+                                    .iter_mut()
+                                    .for_each(|cell| *cell = None);
+                                self.extra[victim as usize].clear();
+                                return Err(ModelError::NodeCrashed {
+                                    node: NodeId(victim),
+                                    round: stats.rounds,
+                                });
+                            }
+                        }
+                    }
+                    let round_start = if T::ENABLED {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
+                    let ts = &schedule.transfers[transfers.clone()];
+                    // Read phase: gather all payload planes before any
+                    // delivery, so delivery within a round is simultaneous
+                    // for every lane.
+                    inbox.clear();
+                    inbox.reserve(ts.len());
+                    let (mut sent_sum, mut recv_sum) = ([0u64; LANES], [0u64; LANES]);
+                    if F::ENABLED {
+                        keep.clear();
+                    }
+                    for (i, t) in ts.iter().enumerate() {
+                        let mut plane = self.slots[t.src as usize][t.src_slot as usize]
+                            .clone()
+                            .ok_or_else(|| schedule.missing(t.src, t.src_slot, *step))?;
+                        if F::ENABLED {
+                            for (lane, sum) in sent_sum.iter_mut().enumerate() {
+                                *sum = sum.wrapping_add(mix64(V::lane_digest(&plane, lane)));
+                            }
+                            match faults.tamper(stats.rounds, t.src) {
+                                Tamper::None => {}
+                                Tamper::Drop => {
+                                    if T::ENABLED {
+                                        tracer.fault("fault.injected.drop", stats.rounds as u64);
+                                    }
+                                    continue;
+                                }
+                                Tamper::Corrupt => {
+                                    if T::ENABLED {
+                                        tracer.fault("fault.injected.corrupt", stats.rounds as u64);
+                                    }
+                                    V::corrupt_lane(&mut plane, stats.rounds % LANES);
+                                }
+                            }
+                            for (lane, sum) in recv_sum.iter_mut().enumerate() {
+                                *sum = sum.wrapping_add(mix64(V::lane_digest(&plane, lane)));
+                            }
+                            keep.push(i);
+                        }
+                        inbox.push(plane);
+                    }
+                    // Write phase: deliver.
+                    if F::ENABLED {
+                        for (&i, payload) in keep.iter().zip(inbox.drain(..)) {
+                            let t = &ts[i];
+                            deliver_packed::<V, LANES>(
+                                &mut self.slots[t.dst as usize][t.dst_slot as usize],
+                                t.merge,
+                                payload,
+                            );
+                        }
+                        if sent_sum != recv_sum {
+                            if T::ENABLED {
+                                tracer.fault("fault.detected", stats.rounds as u64);
+                                // Name the first mismatching lane so the
+                                // driver can localize the corrupt member.
+                                if let Some(lane) = (0..LANES).find(|&l| sent_sum[l] != recv_sum[l])
+                                {
+                                    tracer.fault("fault.detected.lane", lane as u64);
+                                }
+                            }
+                            return Err(ModelError::Corruption {
+                                round: stats.rounds,
+                            });
+                        }
+                    } else {
+                        for (t, payload) in ts.iter().zip(inbox.drain(..)) {
+                            deliver_packed::<V, LANES>(
+                                &mut self.slots[t.dst as usize][t.dst_slot as usize],
+                                t.merge,
+                                payload,
+                            );
+                        }
+                    }
+                    stats.record_round(ts.len());
+                    if T::ENABLED {
+                        for t in ts {
+                            node_sends[t.src as usize] += 1;
+                            node_recvs[t.dst as usize] += 1;
+                        }
+                        tracer.round(RoundEvent {
+                            index: (stats.rounds - 1) as u64,
+                            messages: ts.len() as u64,
+                            local_ops: ops_since_round,
+                            nanos: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                        });
+                        ops_since_round = 0;
+                    }
+                }
+                LinkedStep::Compute { ops, step } => {
+                    for op in &schedule.ops[ops.clone()] {
+                        let store = &mut self.slots[op.node() as usize];
+                        apply_packed_op::<V, LANES>(store, op, schedule, *step)?;
+                        stats.local_ops += 1;
+                    }
+                    tracer.counter("run.local_ops", ops.len() as u64);
+                    if T::ENABLED {
+                        ops_since_round += ops.len() as u64;
+                    }
+                }
+            }
+        }
+        if T::ENABLED {
+            tracer.node_loads(&node_sends, &node_recvs);
+        }
+        Ok(None)
+    }
+}
+
+#[inline]
+fn deliver_packed<V: PackedSemiring<LANES>, const LANES: usize>(
+    cell: &mut Option<V::Plane>,
+    merge: Merge,
+    payload: V::Plane,
+) {
+    match merge {
+        Merge::Overwrite => *cell = Some(payload),
+        Merge::Add => {
+            let cur = cell.take().unwrap_or_else(V::packed_zero);
+            *cell = Some(V::packed_add(&cur, &payload));
+        }
+    }
+}
+
+fn apply_packed_op<V: PackedSemiring<LANES>, const LANES: usize>(
+    store: &mut [Option<V::Plane>],
+    op: &LinkedOp,
+    schedule: &LinkedSchedule,
+    step: usize,
+) -> Result<(), ModelError> {
+    let read = |store: &[Option<V::Plane>], node: u32, slot: u32| -> Result<V::Plane, ModelError> {
+        store[slot as usize]
+            .clone()
+            .ok_or_else(|| schedule.missing(node, slot, step))
+    };
+    match *op {
+        LinkedOp::Mul {
+            node,
+            dst,
+            lhs,
+            rhs,
+        } => {
+            let a = read(store, node, lhs)?;
+            let b = read(store, node, rhs)?;
+            store[dst as usize] = Some(V::packed_mul(&a, &b));
+        }
+        LinkedOp::AddAssign { node, dst, src } => {
+            let s = read(store, node, src)?;
+            let cell = &mut store[dst as usize];
+            let cur = cell.take().unwrap_or_else(V::packed_zero);
+            *cell = Some(V::packed_add(&cur, &s));
+        }
+        LinkedOp::MulAdd {
+            node,
+            dst,
+            lhs,
+            rhs,
+        } => {
+            let a = read(store, node, lhs)?;
+            let b = read(store, node, rhs)?;
+            let cell = &mut store[dst as usize];
+            let cur = cell.take().unwrap_or_else(V::packed_zero);
+            *cell = Some(V::packed_mul_add(&cur, &a, &b));
+        }
+        LinkedOp::SubAssign { node, dst, src } => {
+            let s = read(store, node, src)?;
+            let negated = V::packed_try_neg(&s).ok_or(ModelError::UnsupportedOp {
+                node: NodeId(node),
+                step,
+                what: "additive inverses (a ring)",
+            })?;
+            let cell = &mut store[dst as usize];
+            let cur = cell.take().unwrap_or_else(V::packed_zero);
+            *cell = Some(V::packed_add(&cur, &negated));
+        }
+        LinkedOp::BlockMulAdd { block, .. } => {
+            let spec = &schedule.blocks[block as usize];
+            let dim = spec.dim as usize;
+            let lanes_mask = if LANES == 64 { !0 } else { (1u64 << LANES) - 1 };
+            let fetch = |slots: &[u32]| -> Vec<V::Plane> {
+                slots
+                    .iter()
+                    .map(|&s| store[s as usize].clone().unwrap_or_else(V::packed_zero))
+                    .collect()
+            };
+            let a = fetch(&spec.a);
+            let b = fetch(&spec.b);
+            let mut out = vec![V::packed_zero(); dim * dim];
+            for r in 0..dim {
+                for q in 0..dim {
+                    let av = &a[r * dim + q];
+                    // Skip only when *every* lane is zero; a zero lane of a
+                    // live plane contributes `cell + 0·b = cell`, which is
+                    // bit-identical to the scalar kernel's skip.
+                    if V::zero_mask(av) & lanes_mask == lanes_mask {
+                        continue;
+                    }
+                    for c in 0..dim {
+                        let bv = &b[q * dim + c];
+                        if V::zero_mask(bv) & lanes_mask == lanes_mask {
+                            continue;
+                        }
+                        let cell = &mut out[r * dim + c];
+                        *cell = V::packed_mul_add(cell, av, bv);
+                    }
+                }
+            }
+            // Every output slot materializes (zeros included), matching the
+            // reference kernel's structural-materialization guarantee.
+            for (&slot, v) in spec.c.iter().zip(out) {
+                let cell = &mut store[slot as usize];
+                let cur = cell.take().unwrap_or_else(V::packed_zero);
+                *cell = Some(V::packed_add(&cur, &v));
+            }
+        }
+        LinkedOp::Copy { node, dst, src } => {
+            let s = read(store, node, src)?;
+            store[dst as usize] = Some(s);
+        }
+        LinkedOp::Zero { dst, .. } => {
+            store[dst as usize] = Some(V::packed_zero());
+        }
+        LinkedOp::Free { slot, .. } => {
+            store[slot as usize] = None;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1419,5 +1910,228 @@ mod tests {
             }
         }
         assert_eq!(l.slot_of(NodeId(0), Key::tmp(424242, 0)), None);
+    }
+
+    /// One packed run over `mixed_schedule` must leave every lane's store
+    /// bit-identical to the scalar run of that lane's values — including a
+    /// ragged tail lane that was never loaded (tail members stay zero and
+    /// are simply ignored by the batch runner, but they must not perturb
+    /// the live lanes).
+    #[test]
+    fn packed_lanes_match_scalar_runs() {
+        const LANES: usize = 4;
+        let n = 8;
+        let s = mixed_schedule(n);
+        let l = LinkedSchedule::link(&s).unwrap();
+
+        let lane_value = |lane: u64, i: u64, which: u64| Nat(1 + lane * 31 + i * 7 + which);
+        let live_lanes = LANES - 1; // leave lane 3 as a zero-padded tail
+
+        let mut packed: PackedLinkedMachine<'_, Nat, LANES> = PackedLinkedMachine::new(&l);
+        assert_eq!(packed.lanes(), LANES);
+        let mut scalars: Vec<LinkedMachine<'_, Nat>> =
+            (0..live_lanes).map(|_| LinkedMachine::new(&l)).collect();
+        for lane in 0..live_lanes {
+            for i in 0..n as u64 {
+                for (key, which) in [(Key::a(i, 0), 0), (Key::b(i, 0), 1)] {
+                    let v = lane_value(lane as u64, i, which);
+                    packed.load_lane(NodeId(i as u32), key, lane, v);
+                    scalars[lane].load(NodeId(i as u32), key, v);
+                }
+            }
+        }
+
+        let packed_stats = packed.run().unwrap();
+        for (lane, scalar) in scalars.iter_mut().enumerate() {
+            let scalar_stats = scalar.run().unwrap();
+            assert_eq!(packed_stats, scalar_stats, "lane {lane} stats");
+            for i in 0..n as u32 {
+                assert_eq!(
+                    packed.snapshot_lane(NodeId(i), lane),
+                    scalar.snapshot(NodeId(i)),
+                    "lane {lane} node {i} stores diverge"
+                );
+            }
+        }
+        // The tail lane ran an all-zero member: every occupied plane reads
+        // zero there, and nothing leaked across from the live lanes.
+        for i in 0..n as u32 {
+            for (_, v) in packed.snapshot_lane(NodeId(i), LANES - 1) {
+                assert_eq!(v, Nat(0), "tail lane must stay zero");
+            }
+        }
+    }
+
+    /// Packed `BlockMulAdd` materializes the same side-table outputs per
+    /// lane as the scalar kernel, lanes loaded with different blocks.
+    #[test]
+    fn packed_block_mul_add_matches_scalar_per_lane() {
+        const LANES: usize = 4;
+        let mut b = ScheduleBuilder::new(1);
+        b.compute(vec![LocalOp::BlockMulAdd {
+            node: NodeId(0),
+            dim: 2,
+            a_ns: 10,
+            b_ns: 11,
+            c_ns: 12,
+        }])
+        .unwrap();
+        let s = b.build();
+        let l = LinkedSchedule::link(&s).unwrap();
+
+        let mut packed: PackedLinkedMachine<'_, Nat, LANES> = PackedLinkedMachine::new(&l);
+        let mut scalars: Vec<LinkedMachine<'_, Nat>> =
+            (0..LANES).map(|_| LinkedMachine::new(&l)).collect();
+        for lane in 0..LANES {
+            for idx in 0..4u64 {
+                // Lane 2 gets an all-zero A block to hit the zero-skip path
+                // in some lanes while others stay live.
+                let av = if lane == 2 { 0 } else { lane as u64 + idx + 1 };
+                let bv = 2 * lane as u64 + idx + 5;
+                packed.load_lane(NodeId(0), Key::tmp(10, idx), lane, Nat(av));
+                packed.load_lane(NodeId(0), Key::tmp(11, idx), lane, Nat(bv));
+                scalars[lane].load(NodeId(0), Key::tmp(10, idx), Nat(av));
+                scalars[lane].load(NodeId(0), Key::tmp(11, idx), Nat(bv));
+            }
+        }
+        packed.run().unwrap();
+        for (lane, scalar) in scalars.iter_mut().enumerate() {
+            scalar.run().unwrap();
+            assert_eq!(
+                packed.snapshot_lane(NodeId(0), lane),
+                scalar.snapshot(NodeId(0)),
+                "lane {lane}"
+            );
+        }
+    }
+
+    /// Missing-value and unsupported-op errors surface identically from the
+    /// packed executor (same node/key/step payloads as scalar).
+    #[test]
+    fn packed_error_parity_with_scalar() {
+        // MissingValue on an unloaded transfer source.
+        let mut b = ScheduleBuilder::new(2);
+        b.round(vec![xfer(
+            0,
+            Key::a(9, 9),
+            1,
+            Key::tmp(0, 0),
+            Merge::Overwrite,
+        )])
+        .unwrap();
+        let s = b.build();
+        let l = LinkedSchedule::link(&s).unwrap();
+        let mut scalar: LinkedMachine<Nat> = LinkedMachine::new(&l);
+        let mut packed: PackedLinkedMachine<'_, Nat, 4> = PackedLinkedMachine::new(&l);
+        assert_eq!(scalar.run().unwrap_err(), packed.run().unwrap_err());
+
+        // SubAssign over a plain semiring.
+        let mut b = ScheduleBuilder::new(1);
+        b.compute(vec![LocalOp::SubAssign {
+            node: NodeId(0),
+            dst: Key::x(0, 0),
+            src: Key::a(0, 0),
+        }])
+        .unwrap();
+        let s = b.build();
+        let l = LinkedSchedule::link(&s).unwrap();
+        let mut packed: PackedLinkedMachine<'_, Nat, 4> = PackedLinkedMachine::new(&l);
+        packed.load_lane(NodeId(0), Key::a(0, 0), 0, Nat(3));
+        assert!(matches!(
+            packed.run(),
+            Err(ModelError::UnsupportedOp { .. })
+        ));
+    }
+
+    /// `reset_values` empties every plane while keeping the layout, so a
+    /// packed machine can serve lane-group after lane-group.
+    #[test]
+    fn packed_reset_values_clears_all_lanes() {
+        let n = 4;
+        let s = mixed_schedule(n);
+        let l = LinkedSchedule::link(&s).unwrap();
+        let mut packed: PackedLinkedMachine<'_, Nat, 4> = PackedLinkedMachine::new(&l);
+        for lane in 0..4 {
+            for i in 0..n as u64 {
+                packed.load_lane(NodeId(i as u32), Key::a(i, 0), lane, Nat(lane as u64 + 1));
+                packed.load_lane(NodeId(i as u32), Key::b(i, 0), lane, Nat(2));
+            }
+        }
+        packed.run().unwrap();
+        packed.reset_values();
+        for i in 0..n as u32 {
+            for lane in 0..4 {
+                assert!(packed.snapshot_lane(NodeId(i), lane).is_empty());
+            }
+        }
+        // And the machine is reusable after the reset.
+        for lane in 0..4 {
+            for i in 0..n as u64 {
+                packed.load_lane(NodeId(i as u32), Key::a(i, 0), lane, Nat(9));
+                packed.load_lane(NodeId(i as u32), Key::b(i, 0), lane, Nat(9));
+            }
+        }
+        packed.run().unwrap();
+    }
+
+    /// In-flight corruption of one lane trips the per-lane checksum: the
+    /// run fails with `Corruption { round }` and the tracer's
+    /// `fault.detected.lane` event names the corrupted member.
+    #[test]
+    fn packed_fault_detection_localizes_lane() {
+        struct CorruptRound0;
+        impl FaultHook for CorruptRound0 {
+            const ENABLED: bool = true;
+            fn crash(&mut self, _round: usize) -> Option<u32> {
+                None
+            }
+            fn tamper(&mut self, round: usize, src: u32) -> Tamper {
+                if round == 0 && src == 0 {
+                    Tamper::Corrupt
+                } else {
+                    Tamper::None
+                }
+            }
+        }
+
+        struct LaneRecorder(Vec<(String, u64)>);
+        impl Tracer for LaneRecorder {
+            const ENABLED: bool = true;
+            fn span_enter(&mut self, _name: &'static str) {}
+            fn span_exit(&mut self, _name: &'static str) {}
+            fn counter(&mut self, _name: &'static str, _delta: u64) {}
+            fn histogram(&mut self, _name: &'static str, _value: u64) {}
+            fn fault(&mut self, what: &'static str, value: u64) {
+                self.0.push((what.to_string(), value));
+            }
+        }
+
+        const LANES: usize = 4;
+        let n = 4;
+        let s = mixed_schedule(n);
+        let l = LinkedSchedule::link(&s).unwrap();
+        let mut packed: PackedLinkedMachine<'_, Nat, LANES> = PackedLinkedMachine::new(&l);
+        for lane in 0..LANES {
+            for i in 0..n as u64 {
+                packed.load_lane(NodeId(i as u32), Key::a(i, 0), lane, Nat(5));
+                packed.load_lane(NodeId(i as u32), Key::b(i, 0), lane, Nat(6));
+            }
+        }
+        let mut tracer = LaneRecorder(Vec::new());
+        let mut stats = ExecutionStats::default();
+        let err = packed
+            .run_guarded(
+                &mut tracer,
+                &mut CorruptRound0,
+                RunWindow::full(),
+                &mut stats,
+            )
+            .unwrap_err();
+        assert_eq!(err, ModelError::Corruption { round: 0 });
+        // Round 0 corrupts lane 0 % LANES == 0.
+        assert!(tracer
+            .0
+            .iter()
+            .any(|(what, lane)| what == "fault.detected.lane" && *lane == 0));
     }
 }

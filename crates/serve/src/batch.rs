@@ -7,9 +7,10 @@
 //! structure pays compile + link + lint; every later call — and every run
 //! after the first within a call — pays only load + run + verify.
 
-use lowband_core::{run_plan_batch_traced, Algorithm, BatchMode, Instance, RunReport};
-use lowband_matrix::SampleElement;
-use lowband_model::{NoopTracer, Semiring, Tracer};
+use lowband_core::{
+    run_plan_batch_traced, Algorithm, BatchElement, BatchMode, Instance, RunReport,
+};
+use lowband_model::{NoopTracer, Tracer};
 
 use crate::cache::{ScheduleCache, ServeError};
 
@@ -17,8 +18,10 @@ use crate::cache::{ScheduleCache, ServeError};
 /// the cache. Emits `serve.batch.size` plus the cache's `serve.cache.*`
 /// counters, then the batch executor's spans and counters.
 ///
-/// Reports come back in seed order for every [`BatchMode`].
-pub fn run_batch_traced<S: Semiring + SampleElement, T: Tracer>(
+/// Reports come back in seed order for every [`BatchMode`] — including
+/// [`BatchMode::Packed`], which streams lane groups of the batch through
+/// one struct-of-arrays interpretation of the cached plan.
+pub fn run_batch_traced<S: BatchElement, T: Tracer>(
     cache: &mut ScheduleCache,
     inst: &Instance,
     algorithm: Algorithm,
@@ -33,7 +36,7 @@ pub fn run_batch_traced<S: Semiring + SampleElement, T: Tracer>(
 }
 
 /// [`run_batch_traced`] without instrumentation.
-pub fn run_batch<S: Semiring + SampleElement>(
+pub fn run_batch<S: BatchElement>(
     cache: &mut ScheduleCache,
     inst: &Instance,
     algorithm: Algorithm,
@@ -91,6 +94,39 @@ mod tests {
         }
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (0, 1));
+    }
+
+    #[test]
+    fn packed_batch_through_cache_matches_sequential() {
+        let inst = us_instance(24, 3, 23);
+        let seeds: Vec<u64> = (40..49).collect(); // ragged for lanes = 4
+        let mut cache = ScheduleCache::new(4);
+        let seq = run_batch::<Fp>(
+            &mut cache,
+            &inst,
+            Algorithm::BoundedTriangles,
+            &seeds,
+            false,
+            BatchMode::Sequential,
+        )
+        .unwrap();
+        let packed = run_batch::<Fp>(
+            &mut cache,
+            &inst,
+            Algorithm::BoundedTriangles,
+            &seeds,
+            false,
+            BatchMode::Packed { lanes: 4 },
+        )
+        .unwrap();
+        assert_eq!(packed.len(), seq.len());
+        for (s, p) in seq.iter().zip(&packed) {
+            assert!(p.correct);
+            assert_eq!((s.rounds, s.messages), (p.rounds, p.messages));
+        }
+        // Both batches share one compiled plan.
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
     }
 
     #[test]

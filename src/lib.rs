@@ -27,14 +27,16 @@
 //! * [`faults`] — deterministic fault injection (message drops, value
 //!   corruption, node crashes), per-round integrity checksums, and the
 //!   checkpoint/rollback machinery behind
-//!   [`core::run_resilient`](lowband_core::run_resilient);
+//!   [`core::run_resilient`];
 //! * [`check`] — the schedule invariant linter (per-round capacity,
 //!   same-round hazards, liveness, link fidelity) and the seeded
 //!   cross-executor differential fuzzer behind the `check` CI gate;
 //! * [`serve`] — the serving layer: a structure-keyed LRU cache of
 //!   compiled, linked, lint-checked schedules and batched multi-value
-//!   execution ([`serve::run_batch`](lowband_serve::run_batch)) that
-//!   compiles once and executes many.
+//!   execution ([`serve::run_batch`]) that compiles once and executes
+//!   many — sequentially, thread-fanned, or through packed SIMD-style
+//!   value planes ([`core::BatchMode::Packed`]) that advance up to 64
+//!   batch members per schedule decode.
 //!
 //! ## Quick start
 //!

@@ -13,10 +13,10 @@
 
 use lowband::core::{
     compile_plan, run_algorithm, run_algorithm_batch, run_algorithm_batch_traced,
-    run_algorithm_traced, Algorithm, BatchMode, Instance, RunReport,
+    run_algorithm_traced, Algorithm, BatchElement, BatchMode, Instance, PackedLaneStore, RunReport,
 };
-use lowband::matrix::{gen, reference_multiply, Fp, SparseMatrix, Wrap64};
-use lowband::model::NoopTracer;
+use lowband::matrix::{gen, reference_multiply, Bool, Fp, Gf2, SparseMatrix, Wrap64};
+use lowband::model::{NoopTracer, PackedLinkedMachine};
 use lowband::serve::{run_batch, ScheduleCache, StructureKey};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -241,6 +241,146 @@ fn eviction_recompiles_correctly() {
     assert_eq!(s.misses, 6);
     assert_eq!(s.evictions, 5, "every miss after the first evicts");
     assert_eq!(s.len, 1);
+}
+
+/// The packed ≡ sequential contract for one value type: every lane width
+/// the type compiles, driven over ragged batch sizes (K = 1, LANES−1,
+/// LANES, LANES+1), with and without schedule compression, must produce
+/// reports bit-identical to the sequential batch mode.
+fn assert_packed_equals_sequential<S: BatchElement>(inst: &Instance, widths: &[usize]) {
+    for compress in [false, true] {
+        for &lanes in widths {
+            for k in [1usize, lanes.saturating_sub(1).max(1), lanes, lanes + 1] {
+                let seeds: Vec<u64> = (0..k as u64).map(|s| 700 + s).collect();
+                let seq = run_algorithm_batch_traced::<S, _>(
+                    inst,
+                    Algorithm::BoundedTriangles,
+                    &seeds,
+                    compress,
+                    BatchMode::Sequential,
+                    &mut NoopTracer,
+                )
+                .expect("sequential batch");
+                let packed = run_algorithm_batch_traced::<S, _>(
+                    inst,
+                    Algorithm::BoundedTriangles,
+                    &seeds,
+                    compress,
+                    BatchMode::Packed { lanes },
+                    &mut NoopTracer,
+                )
+                .expect("packed batch");
+                assert_eq!(packed.len(), seq.len(), "lanes={lanes} k={k}");
+                assert!(seq.iter().all(|r| r.correct));
+                for (s, p) in seq.iter().zip(&packed) {
+                    assert_eq!(
+                        deterministic_fields(s),
+                        deterministic_fields(p),
+                        "packed must be observationally identical \
+                         (compress={compress}, lanes={lanes}, k={k})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_equals_sequential_fp() {
+    // Every compiled array-plane width for the field, small widths with
+    // full ragged coverage.
+    assert_packed_equals_sequential::<Fp>(&us_instance(28, 3, 110), &[4, 8, 16]);
+}
+
+#[test]
+fn packed_equals_sequential_wrap64() {
+    assert_packed_equals_sequential::<Wrap64>(&us_instance(28, 3, 111), &[4, 8]);
+}
+
+#[test]
+fn packed_equals_sequential_bool_bit_sliced() {
+    // 64 bit-sliced lanes: K = 63/64/65 exercises a full word plus a
+    // one-member ragged tail group.
+    assert_packed_equals_sequential::<Bool>(&us_instance(20, 2, 112), &[64]);
+}
+
+#[test]
+fn packed_equals_sequential_gf2_bit_sliced() {
+    assert_packed_equals_sequential::<Gf2>(&us_instance(20, 2, 113), &[64]);
+}
+
+#[test]
+fn packed_lanes_agree_with_hash_reference_executor() {
+    // Cross-backend check at the store level: each lane of a packed run,
+    // read through its `PackedLaneStore` view, must extract exactly the X
+    // the hash-map reference executor computes for that lane's seed — so
+    // the plane machine agrees not just report-wise but value-wise with
+    // the least-optimized backend.
+    const LANES: usize = 4;
+    let inst = us_instance(24, 3, 114);
+    let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).expect("plan");
+    let mut packed: PackedLinkedMachine<'_, Fp, LANES> = PackedLinkedMachine::new(&plan.linked);
+    let mut value_sets = Vec::new();
+    for (lane, seed) in (900u64..900 + LANES as u64).enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: SparseMatrix<Fp> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
+        let b: SparseMatrix<Fp> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
+        inst.load_values(
+            &mut PackedLaneStore {
+                machine: &mut packed,
+                lane,
+            },
+            &a,
+            &b,
+        );
+        value_sets.push((a, b));
+    }
+    packed.run().expect("packed run");
+    for (lane, (a, b)) in value_sets.iter().enumerate() {
+        let mut hash = inst.load_machine(a, b);
+        hash.run(&plan.schedule).expect("hash executor");
+        let want = inst.extract_x(&hash);
+        let got = inst.extract_x_from(&PackedLaneStore {
+            machine: &mut packed,
+            lane,
+        });
+        assert_eq!(got, want, "lane {lane} diverges from the hash backend");
+        assert_eq!(
+            want,
+            reference_multiply(a, b, &inst.xhat),
+            "hash backend itself verifies"
+        );
+    }
+}
+
+#[test]
+fn random_instances_packed_equals_solo() {
+    // Randomized packed property, widened under `proptest-tests`:
+    // arbitrary small US instances, random in-menu lane width, ragged K.
+    let mut rng = StdRng::seed_from_u64(115);
+    for case in 0..CASES {
+        let n = rng.gen_range(8..28usize);
+        let d = rng.gen_range(1..4usize);
+        let inst = us_instance(n, d, 400 + case);
+        let lanes = [4usize, 8, 16][rng.gen_range(0..3)];
+        let k = rng.gen_range(1..=lanes + 1);
+        let seeds: Vec<u64> = (0..k as u64).map(|s| 1000 * case + s).collect();
+        let packed = run_algorithm_batch::<Fp>(
+            &inst,
+            Algorithm::BoundedTriangles,
+            &seeds,
+            BatchMode::Packed { lanes },
+        )
+        .expect("packed batch");
+        for (&seed, p) in seeds.iter().zip(&packed) {
+            let solo = run_algorithm::<Fp>(&inst, Algorithm::BoundedTriangles, seed).expect("solo");
+            assert_eq!(
+                deterministic_fields(&solo),
+                deterministic_fields(p),
+                "case {case} (n={n}, d={d}, lanes={lanes}, seed={seed})"
+            );
+        }
+    }
 }
 
 #[test]
