@@ -12,6 +12,15 @@ fn bench_general(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[48usize, 96] {
         let inst = us_as_gm_workload(n, 3, 5);
+        let s = lowband_core::compile_schedule(&inst, Algorithm::BoundedTriangles).unwrap();
+        lowband_bench::harness::register_budget(lowband_core::budget::entries_for_observed(
+            &format!("general_cases us_as_gm n={n}"),
+            &inst,
+            Algorithm::BoundedTriangles,
+            s.rounds(),
+            s.messages(),
+            s.capacity(),
+        ));
         group.bench_with_input(BenchmarkId::new("us_as_gm", n), &inst, |b, inst| {
             b.iter(|| {
                 let r = run_algorithm::<Fp>(inst, Algorithm::BoundedTriangles, 6).unwrap();

@@ -34,6 +34,14 @@ fn bench_execute(c: &mut Criterion) {
         let inst = block_workload(4, d);
         let ts = TriangleSet::enumerate(&inst);
         let schedule = process_triangles(&inst, &ts.triangles, ts.kappa(inst.n), 0).unwrap();
+        lowband_bench::harness::register_budget(lowband_core::budget::entries_for_observed(
+            &format!("lemma31 block(4,{d})"),
+            &inst,
+            lowband_core::Algorithm::BoundedTriangles,
+            schedule.rounds(),
+            schedule.messages(),
+            schedule.capacity(),
+        ));
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let a: SparseMatrix<Fp> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
         let b_m: SparseMatrix<Fp> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);

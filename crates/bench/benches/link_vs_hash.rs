@@ -25,6 +25,14 @@ use rand::SeedableRng;
 fn bench_link_vs_hash(c: &mut Criterion) {
     let inst = block_workload(256, 16); // n = 4096
     let (schedule, _) = solve_bounded_triangles(&inst, 0).expect("compiles");
+    lowband_bench::harness::register_budget(lowband_core::budget::entries_for_observed(
+        "link_vs_hash block(256,16)",
+        &inst,
+        lowband_core::Algorithm::BoundedTriangles,
+        schedule.rounds(),
+        schedule.messages(),
+        schedule.capacity(),
+    ));
     let linked = link(&schedule).expect("links");
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x11A5);

@@ -21,6 +21,16 @@ fn bench_certifier(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing_certifier");
     for &n in &[64usize, 256] {
         let g1 = us_gm_gadget(n);
+        let s =
+            lowband_core::compile_schedule(&g1, lowband_core::Algorithm::BoundedTriangles).unwrap();
+        lowband_bench::harness::register_budget(lowband_core::budget::entries_for_observed(
+            &format!("lower_bounds us_gm_gadget n={n}"),
+            &g1,
+            lowband_core::Algorithm::BoundedTriangles,
+            s.rounds(),
+            s.messages(),
+            s.capacity(),
+        ));
         group.bench_with_input(BenchmarkId::new("us_gm", n), &g1, |b, g| {
             b.iter(|| max_foreign_values(g))
         });

@@ -66,6 +66,15 @@ fn bench_trees(c: &mut Criterion) {
             len: n as u32,
             key: Key::tmp(0, 0),
         }];
+        // Pin the broadcast tree under its ⌈log₂ n⌉ + 1 round bound.
+        let observed = broadcast(n, &tasks).unwrap().rounds();
+        lowband_bench::harness::register_budget(vec![lowband_bench::report::BudgetEntry::new(
+            format!("primitives broadcast n={n}"),
+            "rounds",
+            "⌈log₂n⌉ + 1 [binary broadcast tree]",
+            (n as f64).log2().ceil() + 1.0,
+            observed as f64,
+        )]);
         group.bench_with_input(BenchmarkId::new("broadcast", n), &tasks, |b, t| {
             b.iter(|| broadcast(n, t).unwrap().rounds())
         });

@@ -13,6 +13,15 @@ fn bench_algorithms(c: &mut Criterion) {
     group.sample_size(10);
     for &d in &[8usize, 16] {
         let inst = block_workload(4, d);
+        let s = lowband_core::compile_schedule(&inst, Algorithm::BoundedTriangles).unwrap();
+        lowband_bench::harness::register_budget(lowband_core::budget::entries_for_observed(
+            &format!("table1 block(4,{d}) bounded"),
+            &inst,
+            Algorithm::BoundedTriangles,
+            s.rounds(),
+            s.messages(),
+            s.capacity(),
+        ));
         for (name, alg) in [
             ("trivial", Algorithm::Trivial),
             ("bounded", Algorithm::BoundedTriangles),

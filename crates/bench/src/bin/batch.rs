@@ -22,11 +22,15 @@
 
 use std::time::Instant;
 
-use lowband_bench::report::{Json, JsonReport};
+use lowband_bench::report::{
+    budget_section, percentiles_section, Json, JsonReport, DEFAULT_TOLERANCE,
+};
 use lowband_bench::{block_workload, TablePrinter};
+use lowband_core::budget::entries_for_report;
 use lowband_core::{run_algorithm, Algorithm, BatchElement, BatchMode, Instance};
 use lowband_matrix::{Fp, Gf2};
-use lowband_serve::{run_batch, ScheduleCache};
+use lowband_model::trace::MetricsRegistry;
+use lowband_serve::{run_batch, run_batch_traced, ScheduleCache};
 
 /// Median wall-clock of `iters` calls to `f`, in nanoseconds.
 fn median_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -138,19 +142,40 @@ fn main() {
     parallel_fanout(&mut artifact, &inst, algorithm, iters);
     packed_lanes(&mut artifact, &inst, algorithm, iters);
 
-    let s = cache.stats();
+    // One traced warm batch (outside the timing loops) populates the
+    // per-request latency histogram and pins the executed rounds/messages
+    // under the Lemma 3.1 budget.
+    let mut metrics = MetricsRegistry::new();
+    let traced = run_batch_traced::<Fp, _>(
+        &mut cache,
+        &inst,
+        algorithm,
+        &seeds_for(64),
+        false,
+        BatchMode::Sequential,
+        &mut metrics,
+    )
+    .expect("traced warm batch");
+    assert!(traced.iter().all(|r| r.correct));
+    artifact.section("percentiles", percentiles_section(&metrics));
     artifact.section(
-        "cache",
-        Json::obj()
-            .set("hits", s.hits)
-            .set("misses", s.misses)
-            .set("evictions", s.evictions)
-            .set("len", s.len as u64)
-            .set("capacity", s.capacity as u64),
+        "budget",
+        budget_section(
+            &entries_for_report("batch warm run", &inst, algorithm, &traced[0]),
+            DEFAULT_TOLERANCE,
+        ),
     );
+
+    let s = cache.stats();
+    artifact.section("cache", s.to_json());
     println!(
-        "\ncache: {} hits / {} misses / {} evictions ({} of {} entries)",
-        s.hits, s.misses, s.evictions, s.len, s.capacity
+        "\ncache: {} hits / {} misses / {} evictions ({} of {} entries, hit rate {:.3})",
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.len,
+        s.capacity,
+        s.hit_rate()
     );
     assert_eq!(s.misses, 1, "one structure must compile exactly once");
 

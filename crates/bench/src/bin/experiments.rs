@@ -7,14 +7,18 @@
 //!
 //! With `--json`, additionally writes `results/experiments.json`.
 
-use lowband_bench::report::{Json, JsonReport};
+use lowband_bench::report::{
+    budget_section, percentiles_section, Json, JsonReport, DEFAULT_TOLERANCE,
+};
 use lowband_bench::{
     bd_as_as_workload, block_workload, fit_exponent, lemma31_rounds, scattered_workload,
     us_as_gm_workload, TablePrinter,
 };
+use lowband_core::budget::{entries_for_observed, entries_for_report};
 use lowband_core::optimizer::{schedule, Phase2, LAMBDA_SEMIRING};
-use lowband_core::{Instance, TriangleSet};
-use lowband_matrix::Support;
+use lowband_core::{compile_schedule, Algorithm, Instance, TriangleSet};
+use lowband_matrix::{Fp, Support};
+use lowband_model::trace::MetricsRegistry;
 
 fn main() {
     let mut artifact = JsonReport::new("experiments");
@@ -25,7 +29,47 @@ fn main() {
     e10_ablation_coloring(&mut artifact);
     e11_model_comparison(&mut artifact);
     e12_compression_ablation(&mut artifact);
+    observability(&mut artifact);
     artifact.finish();
+}
+
+/// Observability tail: one traced end-to-end run feeds the `percentiles`
+/// section, and the compiled schedules of representative E-workloads are
+/// pinned under the analytic round/message predictions in `budget`.
+fn observability(artifact: &mut JsonReport) {
+    let mut metrics = MetricsRegistry::new();
+    let inst = us_as_gm_workload(64, 3, 61);
+    let report = lowband_core::run_algorithm_traced::<Fp, _>(
+        &inst,
+        Algorithm::BoundedTriangles,
+        21,
+        false,
+        &mut metrics,
+    )
+    .unwrap();
+    assert!(report.correct);
+    let mut budget = entries_for_report(
+        "experiments [US:AS:GM] d=3",
+        &inst,
+        Algorithm::BoundedTriangles,
+        &report,
+    );
+    for (label, inst) in [
+        ("experiments block d=8", block_workload(4, 8)),
+        ("experiments scattered d=8", scattered_workload(128, 8, 60)),
+    ] {
+        let s = compile_schedule(&inst, Algorithm::BoundedTriangles).unwrap();
+        budget.extend(entries_for_observed(
+            label,
+            &inst,
+            Algorithm::BoundedTriangles,
+            s.rounds(),
+            s.messages(),
+            s.capacity(),
+        ));
+    }
+    artifact.section("percentiles", percentiles_section(&metrics));
+    artifact.section("budget", budget_section(&budget, DEFAULT_TOLERANCE));
 }
 
 /// E12 (ablation): dataflow round compression — pipelining the phases of a

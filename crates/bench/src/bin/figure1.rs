@@ -8,7 +8,11 @@
 //!
 //! With `--json`, additionally writes `results/figure1.json`.
 
-use lowband_bench::report::{Json, JsonReport};
+use std::time::Instant;
+
+use lowband_bench::report::{
+    budget_section, reservoir_section, BudgetEntry, Json, JsonReport, Reservoir, DEFAULT_TOLERANCE,
+};
 use lowband_bench::TablePrinter;
 use lowband_core::optimizer::{headline_exponents, lambda_field, OMEGA_STRASSEN};
 
@@ -21,6 +25,13 @@ fn bar(lo: f64, hi: f64, value: f64, width: usize) -> String {
 fn main() {
     let mut artifact = JsonReport::new("figure1");
     println!("# Figure (§1.2) — exponent progress towards the dense milestones\n");
+    // Reservoir-timed headline computation: this bin's only workload.
+    let mut eval_ns = Reservoir::new(32);
+    for _ in 0..32 {
+        let t0 = Instant::now();
+        std::hint::black_box(headline_exponents(0.00001));
+        eval_ns.record(t0.elapsed().as_nanos() as u64);
+    }
     let h = headline_exponents(0.00001);
 
     let rows: Vec<(&str, f64, f64)> = vec![
@@ -97,6 +108,42 @@ fn main() {
                 "prior_field_fraction",
                 (2.0 - h.prior_field) / (2.0 - h.milestone_field),
             ),
+    );
+    artifact.section(
+        "percentiles",
+        reservoir_section(&[("optimizer.headline_nanos", &eval_ns)]),
+    );
+    // The figure's claim as invariants: this work's exponents sit below
+    // prior work's (predicted = prior, observed = ours ⇒ ratio ≥ 1), and
+    // at or above the conditional milestones.
+    artifact.section(
+        "budget",
+        budget_section(
+            &[
+                BudgetEntry::new(
+                    "figure1 semiring improvement",
+                    "exponent",
+                    "prior SPAA 2022 semiring exponent upper-bounds this work",
+                    h.prior_semiring,
+                    h.new_semiring,
+                ),
+                BudgetEntry::new(
+                    "figure1 field improvement",
+                    "exponent",
+                    "prior SPAA 2022 field exponent upper-bounds this work",
+                    h.prior_field,
+                    h.new_field,
+                ),
+                BudgetEntry::new(
+                    "figure1 semiring milestone",
+                    "exponent",
+                    "this work upper-bounds the conditional milestone",
+                    h.new_semiring,
+                    h.milestone_semiring,
+                ),
+            ],
+            DEFAULT_TOLERANCE,
+        ),
     );
     artifact.finish();
 }

@@ -18,10 +18,14 @@
 
 use std::time::Instant;
 
-use lowband_bench::report::{Json, JsonReport};
+use lowband_bench::report::{
+    budget_section, percentiles_section, BudgetEntry, Json, JsonReport, DEFAULT_TOLERANCE,
+};
 use lowband_bench::{scattered_workload, TablePrinter};
-use lowband_core::{run_algorithm, run_resilient, Algorithm, Instance, RetryPolicy};
+use lowband_core::budget::entries_for_report;
+use lowband_core::{run_algorithm_traced, run_resilient_traced, Algorithm, Instance, RetryPolicy};
 use lowband_matrix::Fp;
+use lowband_model::trace::MetricsRegistry;
 use lowband_model::FaultSpec;
 
 /// Wall-clock median of `iters` runs of `f`, in milliseconds.
@@ -44,24 +48,58 @@ fn main() {
     let algorithm = Algorithm::BoundedTriangles;
     let seed = 42u64;
     let iters = 3usize;
+    // One registry observes every run in this binary (clean and
+    // resilient); the budget rows come from the verified clean report —
+    // replays never inflate `report.report.rounds`, so Lemma 3.1's
+    // envelope applies unchanged.
+    let mut metrics = MetricsRegistry::new();
+    let mut budget = Vec::new();
 
-    checkpoint_overhead(&mut artifact, &inst, algorithm, seed, iters);
-    recovery_cost(&mut artifact, &inst, algorithm, seed, iters);
+    checkpoint_overhead(
+        &mut artifact,
+        &inst,
+        algorithm,
+        seed,
+        iters,
+        &mut metrics,
+        &mut budget,
+    );
+    recovery_cost(
+        &mut artifact,
+        &inst,
+        algorithm,
+        seed,
+        iters,
+        &mut metrics,
+        &mut budget,
+    );
+    artifact.section("percentiles", percentiles_section(&metrics));
+    artifact.section("budget", budget_section(&budget, DEFAULT_TOLERANCE));
     artifact.finish();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn checkpoint_overhead(
     artifact: &mut JsonReport,
     inst: &Instance,
     algorithm: Algorithm,
     seed: u64,
     iters: usize,
+    metrics: &mut MetricsRegistry,
+    budget: &mut Vec<BudgetEntry>,
 ) {
     println!("# recovery — checkpoint overhead with zero faults\n");
     let (plain_ms, plain) = median_ms(iters, || {
-        run_algorithm::<Fp>(inst, algorithm, seed).expect("clean run")
+        run_algorithm_traced::<Fp, _>(inst, algorithm, seed, false, &mut *metrics)
+            .expect("clean run")
     });
     assert!(plain.correct, "baseline must verify");
+    budget.extend(entries_for_report(
+        "recovery plain run",
+        inst,
+        algorithm,
+        &plain,
+    ));
     println!(
         "plain pipeline: {} rounds, {:.2} ms median of {iters}\n",
         plain.rounds, plain_ms
@@ -77,8 +115,15 @@ fn checkpoint_overhead(
             ..RetryPolicy::default()
         };
         let (ms, report) = median_ms(iters, || {
-            run_resilient::<Fp>(inst, algorithm, seed, &FaultSpec::none(1), policy)
-                .expect("fault-free resilient run")
+            run_resilient_traced::<Fp, _>(
+                inst,
+                algorithm,
+                seed,
+                &FaultSpec::none(1),
+                policy,
+                &mut *metrics,
+            )
+            .expect("fault-free resilient run")
         });
         assert!(report.report.correct, "resilient run must verify");
         assert_eq!(report.failures, 0);
@@ -104,12 +149,15 @@ fn checkpoint_overhead(
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recovery_cost(
     artifact: &mut JsonReport,
     inst: &Instance,
     algorithm: Algorithm,
     seed: u64,
     iters: usize,
+    metrics: &mut MetricsRegistry,
+    budget: &mut Vec<BudgetEntry>,
 ) {
     println!("\n# recovery — rollback/replay cost under injected faults\n");
     let t = TablePrinter::new(
@@ -138,9 +186,21 @@ fn recovery_cost(
                 base_round_budget: 1 << 20,
             };
             let (ms, report) = median_ms(iters, || {
-                run_resilient::<Fp>(inst, algorithm, seed, &spec, policy).expect("recoverable run")
+                run_resilient_traced::<Fp, _>(inst, algorithm, seed, &spec, policy, &mut *metrics)
+                    .expect("recoverable run")
             });
             assert!(report.report.correct, "recovered run must verify");
+            if budget
+                .iter()
+                .all(|e| !e.label.starts_with("recovery recovered"))
+            {
+                budget.extend(entries_for_report(
+                    &format!("recovery recovered run rate={rate:.2} ckpt={cadence}"),
+                    inst,
+                    algorithm,
+                    &report.report,
+                ));
+            }
             artifact.section(
                 "recovery_cost",
                 Json::Arr(vec![Json::obj()

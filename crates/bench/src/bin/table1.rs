@@ -11,7 +11,9 @@
 //! structured data, plus a traced end-to-end execution with its metrics
 //! snapshot).
 
-use lowband_bench::report::{format_rate, Json, JsonReport};
+use lowband_bench::report::{
+    budget_section, format_rate, percentiles_section, Json, JsonReport, DEFAULT_TOLERANCE,
+};
 use lowband_bench::{block_workload, fit_exponent, lemma31_rounds, TablePrinter};
 use lowband_core::algorithms::{solve_trivial, solve_two_phase};
 use lowband_core::densemm::DenseEngine;
@@ -322,6 +324,22 @@ fn main() {
             .set("correct", run.correct)
             .set("events_per_sec", run.events_per_sec)
             .set("metrics", metrics.snapshot()),
+    );
+    // Latency percentiles of the traced run's histograms (round nanos,
+    // per-node loads, request latency) and the paper's round/message
+    // bounds checked against the observed totals.
+    report.section("percentiles", percentiles_section(&metrics));
+    report.section(
+        "budget",
+        budget_section(
+            &lowband_core::budget::entries_for_report(
+                "bounded_triangles/block(4,8)",
+                &inst,
+                lowband_core::Algorithm::BoundedTriangles,
+                &run,
+            ),
+            DEFAULT_TOLERANCE,
+        ),
     );
 
     report.finish();

@@ -8,19 +8,27 @@
 //!
 //! With `--json`, additionally writes `results/table2.json`.
 
-use lowband_bench::report::{format_rate, Json, JsonReport};
+use lowband_bench::report::{
+    budget_section, format_rate, percentiles_section, Json, JsonReport, DEFAULT_TOLERANCE,
+};
 use lowband_bench::{bd_as_as_workload, mixed_workload, us_as_gm_workload, TablePrinter};
+use lowband_core::budget::entries_for_report;
 use lowband_core::classify::{all_multisets, classify, Band};
 use lowband_core::densemm::DenseEngine;
-use lowband_core::{run_algorithm, Algorithm};
+use lowband_core::{run_algorithm_traced, Algorithm};
 use lowband_lower::gadgets::{rs_cs_gadget, us_gm_gadget};
 use lowband_lower::{
     broadcast_lower_bound, broadcast_upper_bound, dense_via_as_reduction, max_foreign_values,
 };
 use lowband_matrix::Fp;
+use lowband_model::trace::MetricsRegistry;
 
 fn main() {
     let mut artifact = JsonReport::new("table2");
+    // One registry observes every executed run in this binary; one budget
+    // row pair (rounds, messages) per run.
+    let mut metrics = MetricsRegistry::new();
+    let mut budget = Vec::new();
     println!("# Table 2 — classification of sparse matrix multiplication tasks\n");
     let t = TablePrinter::new(
         &["task", "band", "upper bound", "lower bound"],
@@ -56,15 +64,18 @@ fn main() {
     println!("\n## Band 1 (fast): [US:US:AS] via Theorem 4.2, verified run\n");
     let d = 8;
     let inst = mixed_workload(8, d, 7);
-    let report = run_algorithm::<Fp>(
+    let band1_algorithm = Algorithm::TwoPhase {
+        d: d + 2,
+        engine: DenseEngine::Cube3d,
+    };
+    let report =
+        run_algorithm_traced::<Fp, _>(&inst, band1_algorithm, 11, false, &mut metrics).unwrap();
+    budget.extend(entries_for_report(
+        "band1 [US:US:AS] two-phase",
         &inst,
-        Algorithm::TwoPhase {
-            d: d + 2,
-            engine: DenseEngine::Cube3d,
-        },
-        11,
-    )
-    .unwrap();
+        band1_algorithm,
+        &report,
+    ));
     println!(
         "n = {}, d = {}: {} rounds, {} messages, verified = {}, throughput = {}",
         inst.n,
@@ -98,7 +109,20 @@ fn main() {
         ("[BD:AS:AS]", bd_as_as_workload(64, 3, 10), 3),
         ("[BD:AS:AS]", bd_as_as_workload(128, 3, 11), 3),
     ] {
-        let report = run_algorithm::<Fp>(&inst, Algorithm::BoundedTriangles, 12).unwrap();
+        let report = run_algorithm_traced::<Fp, _>(
+            &inst,
+            Algorithm::BoundedTriangles,
+            12,
+            false,
+            &mut metrics,
+        )
+        .unwrap();
+        budget.extend(entries_for_report(
+            &format!("band2 {name} n={}", inst.n),
+            &inst,
+            Algorithm::BoundedTriangles,
+            &report,
+        ));
         let envelope = (d * d) as f64 + (inst.n as f64).log2();
         artifact.section(
             "band2_general_runs",
@@ -142,7 +166,15 @@ fn main() {
     // ---- Band 3: outlier ------------------------------------------------------
     println!("\n## Outlier [US:US:GM]: paper lists O(d⁴) trivial; measured remark (E3)\n");
     let inst = lowband_bench::us_as_gm_workload(48, 3, 13); // B is AS ⊇ US draw
-    let report = run_algorithm::<Fp>(&inst, Algorithm::BoundedTriangles, 14).unwrap();
+    let report =
+        run_algorithm_traced::<Fp, _>(&inst, Algorithm::BoundedTriangles, 14, false, &mut metrics)
+            .unwrap();
+    budget.extend(entries_for_report(
+        "outlier [US:US:GM]",
+        &inst,
+        Algorithm::BoundedTriangles,
+        &report,
+    ));
     println!(
         "our Lemma 3.1 pipeline runs the [US:US:GM]-shaped instance in {} rounds\n\
          (κ ≤ d², verified = {}) — see EXPERIMENTS.md remark E3 on the gap to the\n\
@@ -217,5 +249,7 @@ fn main() {
          solver fast enough to push T'(m) below m^λ would be a dense-MM breakthrough."
     );
 
+    artifact.section("percentiles", percentiles_section(&metrics));
+    artifact.section("budget", budget_section(&budget, DEFAULT_TOLERANCE));
     artifact.finish();
 }

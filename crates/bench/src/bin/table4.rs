@@ -7,7 +7,11 @@
 //!
 //! With `--json`, additionally writes `results/table4.json`.
 
-use lowband_bench::report::{Json, JsonReport};
+use std::time::Instant;
+
+use lowband_bench::report::{
+    budget_section, reservoir_section, BudgetEntry, Json, JsonReport, Reservoir, DEFAULT_TOLERANCE,
+};
 use lowband_bench::TablePrinter;
 use lowband_core::optimizer::{
     lambda_field, optimal_schedule, schedule, Phase2, OMEGA_PAPER, OMEGA_STRASSEN,
@@ -27,6 +31,19 @@ fn main() {
         "λ = 2 − 2/ω = {:.6} with ω = {OMEGA_PAPER} [23]; A = 1.832\n",
         lambda_field(OMEGA_PAPER)
     );
+    // Reservoir-timed recurrence evaluation (no simulated runs here) for
+    // the `percentiles` section, as in `table3`.
+    let mut eval_ns = Reservoir::new(64);
+    for _ in 0..64 {
+        let t0 = Instant::now();
+        std::hint::black_box(schedule(
+            lambda_field(OMEGA_PAPER),
+            0.00001,
+            1.832,
+            Phase2::ThisWork,
+        ));
+        eval_ns.record(t0.elapsed().as_nanos() as u64);
+    }
     let s = schedule(lambda_field(OMEGA_PAPER), 0.00001, 1.832, Phase2::ThisWork);
     let t = TablePrinter::new(
         &["step", "δ", "γ", "ε", "α", "β", "paper ε", "|Δε|"],
@@ -95,6 +112,32 @@ fn main() {
             .set("max_eps_deviation", max_dev)
             .set("strassen_exponent", strassen.exponent)
             .set("lambda_strassen", lambda_field(OMEGA_STRASSEN)),
+    );
+    artifact.section(
+        "percentiles",
+        reservoir_section(&[("optimizer.schedule_nanos", &eval_ns)]),
+    );
+    artifact.section(
+        "budget",
+        budget_section(
+            &[
+                BudgetEntry::new(
+                    "table4 field exponent",
+                    "exponent",
+                    "paper headline A = 1.832 (Lemma 4.13, fields)",
+                    1.832,
+                    s.exponent,
+                ),
+                BudgetEntry::new(
+                    "table4 strassen variant",
+                    "exponent",
+                    "semiring headline 1.867 upper-bounds the ω = 2.807 engine",
+                    1.867,
+                    strassen.exponent,
+                ),
+            ],
+            DEFAULT_TOLERANCE,
+        ),
     );
     artifact.finish();
 }

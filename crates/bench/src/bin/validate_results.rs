@@ -10,15 +10,39 @@
 //! Exits non-zero if any artifact is malformed, or if the directory
 //! contains no artifacts at all (so CI fails loudly when generation was
 //! skipped). `LOWBAND_RESULTS_DIR` overrides the directory.
+//!
+//! Beyond the envelope, **every** artifact must carry the two
+//! observability sections (DESIGN.md §13): `percentiles` (non-empty
+//! histogram summaries) and `budget` (every predicted-vs-observed bound
+//! holding), with no `null` (NaN/∞ poisoning) or negative number inside
+//! either.
 
-use lowband_bench::report::{results_dir, validate_artifact, validate_required_sections};
+use lowband_bench::report::{
+    results_dir, validate_artifact, validate_observability, validate_required_sections,
+};
 
 /// Required sections for artifacts with a known schema; files not listed
-/// here only get the generic envelope check.
+/// here only get the generic envelope + observability checks.
 const KNOWN: &[(&str, &[&str])] = &[
     ("recovery", &["checkpoint_overhead", "recovery_cost"]),
     ("batch", &["amortized", "cache", "parallel", "packed"]),
+    ("baseline", &["probes", "meta"]),
 ];
+
+/// Batch-specific deep check: the `cache` section must expose a
+/// `hit_rate` in `[0, 1]` (satellite of the schedule-cache stats surface).
+fn validate_batch_cache(doc: &lowband_bench::report::Json) -> Result<(), String> {
+    let rate = doc
+        .get("sections")
+        .and_then(|s| s.get("cache"))
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(|v| v.as_f64())
+        .ok_or("cache: missing \"hit_rate\" number")?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("cache: hit_rate {rate} outside [0, 1]"));
+    }
+    Ok(())
+}
 
 fn main() {
     let dir = results_dir();
@@ -43,8 +67,19 @@ fn main() {
             .and_then(|s| s.to_str())
             .and_then(|stem| KNOWN.iter().find(|(name, _)| *name == stem))
             .map_or(&[][..], |(_, sections)| sections);
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("")
+            .to_string();
         match validate_artifact(&path).and_then(|n| {
             validate_required_sections(&path, required)?;
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("read failed: {e}"))?;
+            let doc = lowband_trace::json::parse(&text).map_err(|e| e.to_string())?;
+            validate_observability(&doc)?;
+            if stem == "batch" {
+                validate_batch_cache(&doc)?;
+            }
             Ok(n)
         }) {
             Ok(sections) => println!("ok   {} ({sections} sections)", path.display()),

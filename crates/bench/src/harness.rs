@@ -20,11 +20,24 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-use crate::report::{json_mode, Json, JsonReport};
+use crate::report::{json_mode, reservoir_section, BudgetEntry, Json, JsonReport, Reservoir};
 
 /// Measurements collected for the `--json` artifact; drained by
 /// [`write_json_records`] from the `criterion_main!`-generated `main`.
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Communication-budget rows registered by the bench file itself (bounds
+/// are workload knowledge the harness doesn't have); drained into the
+/// artifact's `budget` section by [`write_json_records`].
+static BUDGETS: Mutex<Vec<BudgetEntry>> = Mutex::new(Vec::new());
+
+/// Register predicted-vs-observed budget rows for the artifact this bench
+/// writes under `--json`. Call once from the bench function, on the same
+/// workload the measurements run — every bench artifact must carry a
+/// non-empty `budget` section (`validate_results` enforces it).
+pub fn register_budget(entries: Vec<BudgetEntry>) {
+    BUDGETS.lock().unwrap().extend(entries);
+}
 
 struct Record {
     id: String,
@@ -32,6 +45,9 @@ struct Record {
     median_ns: u64,
     min_ns: u64,
     max_ns: u64,
+    /// Every per-iteration sample in nanoseconds, for the exact
+    /// `percentiles` section (sample counts are small, so no sketching).
+    sample_ns: Vec<u64>,
 }
 
 /// Write `results/bench_<name>.json` with every measurement recorded so
@@ -42,6 +58,7 @@ pub fn write_json_records() {
         return;
     }
     let records = std::mem::take(&mut *RECORDS.lock().unwrap());
+    let budgets = std::mem::take(&mut *BUDGETS.lock().unwrap());
     let name = bench_name();
     let rows: Vec<Json> = records
         .iter()
@@ -54,8 +71,25 @@ pub fn write_json_records() {
                 .set("max_ns", r.max_ns)
         })
         .collect();
+    let reservoirs: Vec<(String, Reservoir)> = records
+        .iter()
+        .map(|r| {
+            let mut res = Reservoir::new(r.sample_ns.len());
+            for &ns in &r.sample_ns {
+                res.record(ns);
+            }
+            (r.id.clone(), res)
+        })
+        .collect();
+    let pairs: Vec<(&str, &Reservoir)> =
+        reservoirs.iter().map(|(id, r)| (id.as_str(), r)).collect();
     let mut report = JsonReport::new(format!("bench_{name}"));
     report.section("measurements", Json::Arr(rows));
+    report.section("percentiles", reservoir_section(&pairs));
+    report.section(
+        "budget",
+        crate::report::budget_section(&budgets, crate::report::DEFAULT_TOLERANCE),
+    );
     report.finish();
 }
 
@@ -213,6 +247,7 @@ impl BenchmarkGroup<'_> {
                 median_ns: median.as_nanos() as u64,
                 min_ns: times[0].as_nanos() as u64,
                 max_ns: times[times.len() - 1].as_nanos() as u64,
+                sample_ns: times.iter().map(|t| t.as_nanos() as u64).collect(),
             });
         }
         self

@@ -16,6 +16,8 @@
 
 use std::path::{Path, PathBuf};
 
+pub use lowband_trace::budget::{budget_section, BudgetEntry, DEFAULT_TOLERANCE};
+pub use lowband_trace::percentile::{percentiles_section, reservoir_section, Reservoir};
 pub use lowband_trace::Json;
 
 /// True when `--json` was passed on the command line.
@@ -141,6 +143,77 @@ pub fn validate_required_sections(path: &Path, required: &[&str]) -> Result<(), 
     Ok(())
 }
 
+/// Reject `null`s (a NaN or ∞ serializes as `null` by design, so a `null`
+/// inside a measurement section means a poisoned number) and negative
+/// numbers anywhere under `value`. `at` names the JSON path for messages.
+fn check_clean(value: &Json, at: &str) -> Result<(), String> {
+    match value {
+        Json::Null => Err(format!("{at}: null (NaN/∞ or missing measurement)")),
+        Json::Float(f) if *f < 0.0 => Err(format!("{at}: negative value {f}")),
+        Json::Int(i) if *i < 0 => Err(format!("{at}: negative value {i}")),
+        Json::Arr(items) => items
+            .iter()
+            .enumerate()
+            .try_for_each(|(i, v)| check_clean(v, &format!("{at}[{i}]"))),
+        Json::Obj(pairs) => pairs
+            .iter()
+            .try_for_each(|(k, v)| check_clean(v, &format!("{at}.{k}"))),
+        _ => Ok(()),
+    }
+}
+
+/// Deep checks on the two observability sections every artifact must carry
+/// (DESIGN.md §13):
+///
+/// * `percentiles` — a `method` string plus a **non-empty** `histograms`
+///   object (log₂-bucket or exact-reservoir summaries);
+/// * `budget` — non-empty `entries`, each with `ok: true` (the
+///   predicted/observed communication budget holds within tolerance);
+/// * neither section contains a `null` (NaN poisoning) or a negative
+///   number anywhere.
+pub fn validate_observability(doc: &Json) -> Result<(), String> {
+    let sections = doc
+        .get("sections")
+        .and_then(|v| v.as_object())
+        .ok_or("missing \"sections\" object")?;
+    let lookup = |key: &str| sections.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+
+    let pct = lookup("percentiles").ok_or("missing required section \"percentiles\"")?;
+    pct.get("method")
+        .and_then(|v| v.as_str())
+        .ok_or("percentiles: missing \"method\" string")?;
+    let hists = pct
+        .get("histograms")
+        .and_then(|v| v.as_object())
+        .ok_or("percentiles: missing \"histograms\" object")?;
+    if hists.is_empty() {
+        return Err("percentiles: empty \"histograms\" (nothing was measured)".into());
+    }
+    check_clean(pct, "percentiles")?;
+
+    let budget = lookup("budget").ok_or("missing required section \"budget\"")?;
+    let entries = budget
+        .get("entries")
+        .and_then(|v| v.as_array())
+        .ok_or("budget: missing \"entries\" array")?;
+    if entries.is_empty() {
+        return Err("budget: empty \"entries\" (no bound was checked)".into());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        let label = e.get("label").and_then(|v| v.as_str()).unwrap_or("?");
+        match e.get("ok").and_then(|v| v.as_bool()) {
+            Some(true) => {}
+            Some(false) => {
+                return Err(format!(
+                    "budget entry {i} ({label}): bound violated (observed exceeds predicted)"
+                ))
+            }
+            None => return Err(format!("budget entry {i} ({label}): missing \"ok\" bool")),
+        }
+    }
+    check_clean(budget, "budget")
+}
+
 /// Format an optional throughput for the text tables: `"n/a"` when the
 /// run was below clock resolution.
 pub fn format_rate(rate: Option<f64>) -> String {
@@ -188,6 +261,67 @@ mod tests {
         let empty = dir.join("empty.json");
         std::fs::write(&empty, "{\"name\": \"x\", \"sections\": {}}").unwrap();
         assert!(validate_artifact(&empty).is_err());
+    }
+
+    fn doc_with(budget_ok: bool, poisoned: bool) -> Json {
+        let hist = Json::obj()
+            .set("p50", 10u64)
+            .set("p95", 20u64)
+            .set("count", 5u64);
+        let mut entry = Json::obj()
+            .set("label", "e")
+            .set("predicted", 10.0)
+            .set("ok", budget_ok);
+        if poisoned {
+            entry = entry.set("observed", f64::NAN); // serializes as null
+        } else {
+            entry = entry.set("observed", 8.0);
+        }
+        Json::obj().set("name", "t").set(
+            "sections",
+            Json::obj()
+                .set(
+                    "percentiles",
+                    Json::obj()
+                        .set("method", "exact-reservoir")
+                        .set("histograms", Json::obj().set("x", hist)),
+                )
+                .set("budget", Json::obj().set("entries", Json::Arr(vec![entry]))),
+        )
+    }
+
+    #[test]
+    fn observability_validation_accepts_good_rejects_bad() {
+        assert_eq!(validate_observability(&doc_with(true, false)), Ok(()));
+        // A violated bound names the entry.
+        let err = validate_observability(&doc_with(false, false)).unwrap_err();
+        assert!(err.contains("bound violated"), "{err}");
+        // NaN poisoning (serialized as null) is caught by the deep scan.
+        let reparsed = lowband_trace::json::parse(&doc_with(true, true).to_pretty()).unwrap();
+        let err = validate_observability(&reparsed).unwrap_err();
+        assert!(err.contains("null"), "{err}");
+        // Missing sections entirely.
+        let bare = Json::obj()
+            .set("name", "t")
+            .set("sections", Json::obj().set("rows", Json::Arr(vec![])));
+        assert!(validate_observability(&bare)
+            .unwrap_err()
+            .contains("percentiles"));
+        // Empty histograms: something claimed to measure but didn't.
+        let mut empty = doc_with(true, false);
+        if let Json::Obj(ref mut fields) = empty {
+            if let Some((_, Json::Obj(sections))) = fields.iter_mut().find(|(k, _)| k == "sections")
+            {
+                if let Some((_, pct)) = sections.iter_mut().find(|(k, _)| k == "percentiles") {
+                    *pct = Json::obj()
+                        .set("method", "exact-reservoir")
+                        .set("histograms", Json::obj());
+                }
+            }
+        }
+        assert!(validate_observability(&empty)
+            .unwrap_err()
+            .contains("empty"));
     }
 
     #[test]

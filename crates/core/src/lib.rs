@@ -29,6 +29,7 @@
 //! exactly as the supported model allows.
 
 pub mod algorithms;
+pub mod budget;
 pub mod classify;
 pub mod cluster;
 pub mod densemm;
@@ -39,12 +40,15 @@ pub mod runner;
 pub mod strassen;
 pub mod triangles;
 
+pub use budget::{
+    element_load, entries_for_observed, entries_for_report, predicted_rounds, Prediction,
+};
 pub use classify::{classify, Classification};
 pub use instance::{Instance, PackedLaneStore, PackedSites, Placement, ValueStore};
 pub use runner::{
     compile_plan, compile_plan_traced, compile_schedule, run_algorithm, run_algorithm_batch,
     run_algorithm_batch_traced, run_algorithm_traced, run_plan_batch, run_plan_batch_traced,
-    run_resilient, run_resilient_traced, Algorithm, BatchElement, BatchMode, CompiledPlan,
-    ResilientReport, RetryPolicy, RunReport,
+    run_resilient, run_resilient_recorded, run_resilient_traced, Algorithm, BatchElement,
+    BatchMode, CompiledPlan, ResilientReport, RetryPolicy, RunReport,
 };
 pub use triangles::{Triangle, TriangleSet};

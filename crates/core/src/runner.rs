@@ -16,7 +16,9 @@ use lowband_model::{
     ExecutionStats, FaultSpec, LinkedMachine, LinkedSchedule, ModelError, NoopTracer,
     PackedLinkedMachine, PackedSemiring, RunWindow, Schedule, Semiring, Tracer,
 };
+use lowband_trace::{FlightRecorder, Json, MetricsRegistry};
 use rand::SeedableRng;
+use std::path::PathBuf;
 
 use crate::algorithms::{
     solve_bounded_triangles, solve_dense_cube, solve_trivial, solve_two_phase,
@@ -191,6 +193,11 @@ fn execute_seeded<S: Semiring + SampleElement, T: Tracer>(
     seed: u64,
     tracer: &mut T,
 ) -> Result<RunReport, ModelError> {
+    let started = if T::ENABLED {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     scratch.a.refill_random(&mut rng);
     scratch.b.refill_random(&mut rng);
@@ -208,6 +215,11 @@ fn execute_seeded<S: Semiring + SampleElement, T: Tracer>(
     // full matrix equality.
     let correct = scratch.got.values() == scratch.want.values();
     tracer.span_exit("verify");
+    // End-to-end per-request latency (load + run + verify), the serving
+    // layer's p50/p95/p99 surface.
+    if let Some(t0) = started {
+        tracer.histogram("run.request_nanos", t0.elapsed().as_nanos() as u64);
+    }
     Ok(RunReport {
         rounds: stats.rounds,
         messages: stats.messages,
@@ -661,6 +673,41 @@ pub fn run_resilient_traced<S: Semiring + SampleElement, T: Tracer>(
         checkpoints,
         fault_log: plan.log(),
     })
+}
+
+/// [`run_resilient_traced`] under a flight recorder: `recorder` and
+/// `metrics` observe the whole run as a composed sink, and if the run
+/// **aborts** (fault budget overrun, unrecoverable error — recovered
+/// faults dump nothing), the recorder's ring is written to
+/// `results/postmortem/<label>-<seq>.trace.json` as a Chrome trace with
+/// the error and the metrics snapshot embedded in `otherData`. Returns
+/// the run result plus the dump path, if one was written.
+#[allow(clippy::too_many_arguments)]
+pub fn run_resilient_recorded<S: Semiring + SampleElement>(
+    inst: &Instance,
+    algorithm: Algorithm,
+    seed: u64,
+    spec: &FaultSpec,
+    policy: RetryPolicy,
+    recorder: &mut FlightRecorder,
+    metrics: &mut MetricsRegistry,
+    label: &str,
+) -> (Result<ResilientReport, ModelError>, Option<PathBuf>) {
+    let result = {
+        let mut pair = (&mut *recorder, &mut *metrics);
+        run_resilient_traced::<S, _>(inst, algorithm, seed, spec, policy, &mut pair)
+    };
+    let dump = match &result {
+        Ok(_) => None,
+        Err(e) => {
+            let reason = format!("{e:?}");
+            let extra = Json::obj()
+                .set("error", reason.as_str())
+                .set("metrics", metrics.snapshot());
+            recorder.dump_postmortem(label, &reason, extra).ok()
+        }
+    };
+    (result, dump)
 }
 
 /// Compile an instance with the selected algorithm and return the

@@ -11,6 +11,8 @@ use lowband_core::{
     run_plan_batch_traced, Algorithm, BatchElement, BatchMode, Instance, RunReport,
 };
 use lowband_model::{NoopTracer, Tracer};
+use lowband_trace::{FlightRecorder, Json, MetricsRegistry};
+use std::path::PathBuf;
 
 use crate::cache::{ScheduleCache, ServeError};
 
@@ -33,6 +35,43 @@ pub fn run_batch_traced<S: BatchElement, T: Tracer>(
     tracer.counter("serve.batch.size", seeds.len() as u64);
     let plan = cache.get_or_compile_traced(inst, algorithm, compress, tracer)?;
     run_plan_batch_traced::<S, T>(inst, &plan, seeds, mode, tracer).map_err(ServeError::from)
+}
+
+/// [`run_batch_traced`] under a flight recorder: `recorder` and `metrics`
+/// observe the batch as a composed sink, and if the request **fails** —
+/// the plan fails the insert-time lint, or compilation/execution surfaces
+/// a [`lowband_model::ModelError`] — the recorder's ring is dumped to
+/// `results/postmortem/<label>-<seq>.trace.json` with the error, the
+/// cache accounting and the metrics snapshot in `otherData`. Returns the
+/// batch result plus the dump path, if one was written.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batch_recorded<S: BatchElement>(
+    cache: &mut ScheduleCache,
+    inst: &Instance,
+    algorithm: Algorithm,
+    seeds: &[u64],
+    compress: bool,
+    mode: BatchMode,
+    recorder: &mut FlightRecorder,
+    metrics: &mut MetricsRegistry,
+    label: &str,
+) -> (Result<Vec<RunReport>, ServeError>, Option<PathBuf>) {
+    let result = {
+        let mut pair = (&mut *recorder, &mut *metrics);
+        run_batch_traced::<S, _>(cache, inst, algorithm, seeds, compress, mode, &mut pair)
+    };
+    let dump = match &result {
+        Ok(_) => None,
+        Err(e) => {
+            let reason = e.to_string();
+            let extra = Json::obj()
+                .set("error", reason.as_str())
+                .set("cache", cache.stats().to_json())
+                .set("metrics", metrics.snapshot());
+            recorder.dump_postmortem(label, &reason, extra).ok()
+        }
+    };
+    (result, dump)
 }
 
 /// [`run_batch_traced`] without instrumentation.

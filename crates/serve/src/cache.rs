@@ -68,6 +68,29 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// The `cache` section of a results artifact.
+    pub fn to_json(&self) -> lowband_trace::Json {
+        lowband_trace::Json::obj()
+            .set("hits", self.hits)
+            .set("misses", self.misses)
+            .set("evictions", self.evictions)
+            .set("len", self.len)
+            .set("capacity", self.capacity)
+            .set("hit_rate", self.hit_rate())
+    }
+}
+
 struct Entry {
     plan: Arc<CompiledPlan>,
     last_used: u64,

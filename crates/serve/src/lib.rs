@@ -29,6 +29,6 @@ pub mod batch;
 pub mod cache;
 pub mod key;
 
-pub use batch::{run_batch, run_batch_traced};
+pub use batch::{run_batch, run_batch_recorded, run_batch_traced};
 pub use cache::{CacheStats, ScheduleCache, ServeError};
 pub use key::StructureKey;

@@ -74,6 +74,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -297,6 +305,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -307,9 +316,18 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
     Ok(v)
 }
 
+/// Maximum container nesting the parser accepts. The parser is
+/// recursive-descent, so without a limit an adversarial input of a few
+/// hundred kilobytes of `[[[[…` overflows the stack; at depth 128 the
+/// deepest legitimate artifact in this workspace (≤ 8 levels) has two
+/// orders of magnitude of headroom while recursion stays a few frames
+/// deep.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -361,12 +379,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[', "expected '['")?;
+        self.enter()?;
         let mut xs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(xs));
         }
         loop {
@@ -377,6 +405,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(xs));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -386,10 +415,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{', "expected '{'")?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -405,6 +436,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),

@@ -22,15 +22,37 @@
 //!   `chrome://tracing` / Perfetto, one span per phase and one track
 //!   (thread id) per algorithm run.
 //!
+//! The second-generation layer (DESIGN.md §13) adds:
+//!
+//! * [`FlightRecorder`] — a fixed-capacity ring of recent spans/rounds
+//!   with overflow drop-counters and 1-in-N round sampling, dumpable as a
+//!   post-mortem Chrome trace into `results/postmortem/` when a run dies;
+//! * [`percentile`] — p50/p95/p99/p999 surfaces from the log₂-bucket
+//!   [`Histogram`]s (documented < 2× bucket-bound error) and an exact
+//!   small-N [`Reservoir`], the `percentiles` section of every artifact;
+//! * [`budget`] — predicted-vs-observed communication budgets (the
+//!   paper's bounds as continuously-checked invariants), the `budget`
+//!   section of every artifact;
+//! * [`baseline`] — the committed-probe perf-regression gate behind
+//!   `bin/perfgate` and `results/baseline.json`.
+//!
 //! Sinks compose: `(&mut metrics, &mut chrome)` is itself a [`Tracer`].
 
+pub mod baseline;
+pub mod budget;
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod percentile;
 
+pub use baseline::{GateResult, Probe};
+pub use budget::BudgetEntry;
 pub use chrome::ChromeTraceSink;
+pub use flight::FlightRecorder;
 pub use json::Json;
 pub use metrics::{Histogram, MetricsRegistry};
+pub use percentile::Reservoir;
 
 /// One communication round as observed by an executor.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

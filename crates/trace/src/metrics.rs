@@ -22,6 +22,23 @@ use crate::Tracer;
 const BUCKETS: usize = 65;
 
 /// A fixed-bucket histogram with exact summary statistics.
+///
+/// # Bucketing rule (the single source of truth)
+///
+/// Observation `v` lands in bucket [`Histogram::bucket_of`]`(v) ==
+/// bit_width(v)`, i.e. `u64::BITS - v.leading_zeros()`:
+///
+/// * bucket `0` holds **only** `v == 0`;
+/// * bucket `b ≥ 1` holds exactly `2^(b-1) ≤ v < 2^b` — so a value
+///   exactly at a power of two `2^k` is the *first* value of bucket
+///   `k + 1`, never the last value of bucket `k`;
+/// * bucket `64` (the last of the [`BUCKETS`]` = 65`) holds
+///   `2^63 ≤ v ≤ u64::MAX`; its inclusive upper bound is `u64::MAX`, not
+///   `2^64` (which does not exist in `u64`).
+///
+/// [`Histogram::bucket_bounds`] returns the inclusive `[lo, hi]` range of
+/// a bucket under exactly this rule; the percentile surfaces in
+/// [`crate::percentile`] derive their documented error bound from it.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     /// `buckets[b]` counts observations with `bit_width(v) == b`,
@@ -29,8 +46,9 @@ pub struct Histogram {
     pub buckets: [u64; BUCKETS],
     /// Number of observations.
     pub count: u64,
-    /// Exact sum of observations (wrapping add; totals in this workspace
-    /// are far below `u64::MAX`).
+    /// Exact sum of observations (saturating add: a sum that would wrap
+    /// pins at `u64::MAX` instead of silently restarting near zero, so
+    /// `mean` degrades to an under-estimate rather than garbage).
     pub sum: u64,
     /// Smallest observation.
     pub min: u64,
@@ -51,13 +69,35 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// The bucket observation `value` lands in — `bit_width(value)`, per
+    /// the rule documented on the type.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive `[lo, hi]` value range of bucket `b`: `[0, 0]` for
+    /// bucket 0, `[2^(b-1), 2^b - 1]` for `1 ≤ b ≤ 63`, and
+    /// `[2^63, u64::MAX]` for bucket 64.
+    ///
+    /// # Panics
+    ///
+    /// If `b ≥ `[`BUCKETS`].
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        assert!(b < BUCKETS, "bucket {b} out of range");
+        match b {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (b - 1), (1 << b) - 1),
+        }
+    }
+
     /// Record one observation.
     #[inline]
     pub fn record(&mut self, value: u64) {
-        let bucket = (u64::BITS - value.leading_zeros()) as usize;
-        self.buckets[bucket] += 1;
+        self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
-        self.sum = self.sum.wrapping_add(value);
+        self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -139,6 +179,17 @@ impl MetricsRegistry {
     /// Summary of a histogram, if it ever saw an observation.
     pub fn histogram_stats(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// All histograms in deterministic (key) order — the iteration the
+    /// [`crate::percentile::percentiles_section`] surface folds over.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.histograms.iter().map(|(&k, h)| (k, h))
+    }
+
+    /// All counters in deterministic (key) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
     /// Accumulated timing of a span name, if it was ever entered.
@@ -241,6 +292,42 @@ mod tests {
         assert_eq!(h.buckets[10], 1); // 1023
         assert_eq!(h.buckets[11], 1); // 1024
         assert_eq!(h.mean(), Some(h.sum as f64 / 7.0));
+    }
+
+    #[test]
+    fn bucket_rule_at_powers_of_two_zero_and_max() {
+        // Exactly-at-a-power-of-two values open the *next* bucket.
+        for k in 1..=63u32 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_of(v - 1), k as usize, "2^{k} - 1");
+            assert_eq!(Histogram::bucket_of(v), k as usize + 1, "2^{k}");
+        }
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Bounds round-trip: every bucket's bounds map back to the bucket.
+        for b in 0..super::BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert_eq!(Histogram::bucket_of(lo), b, "lo of bucket {b}");
+            assert_eq!(Histogram::bucket_of(hi), b, "hi of bucket {b}");
+            assert!(lo <= hi);
+        }
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn extreme_values_keep_exact_stats_and_saturate_sum() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count, 3);
+        assert_eq!((h.min, h.max), (0, u64::MAX));
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[64], 2);
+        // The sum would wrap; it must pin at MAX so the mean stays sane.
+        assert_eq!(h.sum, u64::MAX);
+        assert!(h.mean().unwrap() <= u64::MAX as f64);
     }
 
     #[test]

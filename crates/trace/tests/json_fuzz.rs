@@ -1,0 +1,169 @@
+//! Adversarial round-trip coverage for the serde-free `trace::json`
+//! parser: seeded random documents, deep nesting at the recursion limit,
+//! pathological escape sequences, non-finite floats, duplicate keys.
+
+use lowband_trace::json::{self, Json, MAX_DEPTH};
+
+/// splitmix64 — deterministic stream, one per seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// An adversarial-but-valid string: quotes, backslashes, control chars,
+/// multi-byte unicode, characters outside the BMP (surrogate pairs when
+/// escaped).
+fn random_string(rng: &mut Rng) -> String {
+    let len = rng.below(12) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        match rng.below(8) {
+            0 => s.push('"'),
+            1 => s.push('\\'),
+            2 => s.push(char::from_u32(rng.below(0x20) as u32).unwrap()),
+            3 => s.push('λ'),
+            4 => s.push('𝔽'), // outside the BMP: needs a surrogate pair
+            5 => s.push('\u{ffff}'),
+            _ => s.push(char::from_u32(0x61 + rng.below(26) as u32).unwrap()),
+        }
+    }
+    s
+}
+
+/// A random document of bounded depth. Only finite floats (non-finite
+/// ones serialize as `null` by design and are tested separately).
+fn random_json(rng: &mut Rng, depth: usize) -> Json {
+    let leaf = depth == 0 || rng.below(3) == 0;
+    if leaf {
+        match rng.below(6) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.below(2) == 0),
+            2 => Json::UInt(rng.next()),
+            3 => Json::Int(-(rng.below(1 << 60) as i64)),
+            4 => {
+                // Finite float with a fractional part so `{:?}` keeps a
+                // '.' and the parse comes back as Float, not UInt.
+                let v = (rng.below(1 << 30) as f64 + 0.5) / 7.0;
+                Json::Float(if rng.below(2) == 0 { v } else { -v })
+            }
+            _ => Json::Str(random_string(rng)),
+        }
+    } else if rng.below(2) == 0 {
+        let n = rng.below(4) as usize;
+        Json::Arr((0..n).map(|_| random_json(rng, depth - 1)).collect())
+    } else {
+        let n = rng.below(4) as usize;
+        Json::Obj(
+            (0..n)
+                .map(|i| {
+                    // Duplicate keys on purpose, roughly 1 in 4 objects.
+                    let key = if i > 0 && rng.below(4) == 0 {
+                        "dup".to_string()
+                    } else {
+                        format!("k{i}-{}", random_string(rng))
+                    };
+                    (key, random_json(rng, depth - 1))
+                })
+                .collect(),
+        )
+    }
+}
+
+#[test]
+fn fuzz_round_trip_compact_and_pretty() {
+    for seed in 0..400u64 {
+        let mut rng = Rng(seed);
+        let doc = random_json(&mut rng, 6);
+        for text in [doc.to_compact(), doc.to_pretty()] {
+            let back = json::parse(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: parse failed at {e:?} on: {text}"));
+            assert_eq!(back, doc, "seed {seed}: round-trip mismatch");
+        }
+    }
+}
+
+#[test]
+fn nesting_is_accepted_at_the_limit_and_rejected_past_it() {
+    let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+    assert!(json::parse(&ok).is_ok(), "depth == MAX_DEPTH must parse");
+
+    let too_deep = format!(
+        "{}1{}",
+        "[".repeat(MAX_DEPTH + 1),
+        "]".repeat(MAX_DEPTH + 1)
+    );
+    let err = json::parse(&too_deep).expect_err("past the limit must fail");
+    assert_eq!(err.message, "nesting too deep");
+
+    // The original stack-overflow reproducer: a megabyte of '[' with no
+    // closers. Must error, not crash.
+    let bomb = "[".repeat(1 << 20);
+    assert!(json::parse(&bomb).is_err());
+
+    // Mixed nesting through objects counts too.
+    let mixed_deep: String = (0..=MAX_DEPTH).map(|_| "{\"k\":[").collect::<String>() + "1";
+    assert!(json::parse(&mixed_deep).is_err());
+}
+
+#[test]
+fn escape_sequences_round_trip() {
+    let victims = [
+        "\"\\\u{0}\u{1f}\n\r\t",
+        "plain",
+        "\u{ffff}𝔽λ",
+        "a\\u0041b", // literal backslash-u, not an escape
+    ];
+    for v in victims {
+        let doc = Json::Str(v.to_string());
+        let back = json::parse(&doc.to_compact()).unwrap();
+        assert_eq!(back, doc, "string {v:?}");
+    }
+    // Escaped surrogate pair decodes to the astral character.
+    assert_eq!(json::parse(r#""𝔽""#).unwrap(), Json::Str("𝔽".to_string()));
+    // A lone surrogate must be rejected, not smuggled through.
+    assert!(json::parse(r#""\ud835""#).is_err());
+}
+
+#[test]
+fn non_finite_floats_serialize_as_null() {
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let doc = Json::Arr(vec![Json::Float(v), Json::UInt(1)]);
+        let back = json::parse(&doc.to_compact()).unwrap();
+        assert_eq!(back, Json::Arr(vec![Json::Null, Json::UInt(1)]));
+    }
+}
+
+#[test]
+fn duplicate_keys_are_preserved_and_get_returns_first() {
+    let doc = json::parse(r#"{"k": 1, "k": 2, "j": 3}"#).unwrap();
+    let pairs = doc.as_object().unwrap();
+    assert_eq!(pairs.len(), 3, "duplicates preserved verbatim");
+    assert_eq!(doc.get("k").unwrap().as_u64(), Some(1), "get = first wins");
+    // And the shape survives a second round-trip unchanged.
+    let again = json::parse(&doc.to_compact()).unwrap();
+    assert_eq!(again, doc);
+}
+
+#[test]
+fn truncations_of_valid_documents_never_panic() {
+    let mut rng = Rng(7);
+    let doc = random_json(&mut rng, 5);
+    let text = doc.to_compact();
+    for cut in 0..text.len() {
+        if text.is_char_boundary(cut) {
+            // Any prefix must produce Ok or Err — never a crash.
+            let _ = json::parse(&text[..cut]);
+        }
+    }
+}

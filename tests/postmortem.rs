@@ -1,0 +1,85 @@
+//! End-to-end post-mortem: a seeded fault plan plus a no-retry policy
+//! aborts a resilient run, and the flight recorder's dump must land under
+//! the results directory as a parseable, balanced Chrome trace carrying
+//! the abort reason and the metrics snapshot.
+//!
+//! Kept as its own test binary: it mutates `LOWBAND_RESULTS_DIR`, which
+//! is process-global.
+
+use lowband::core::{run_resilient_recorded, Algorithm, Instance, RetryPolicy};
+use lowband::matrix::{gen, Fp};
+use lowband::model::trace::{json, FlightRecorder, MetricsRegistry};
+use lowband::model::FaultSpec;
+use rand::SeedableRng;
+
+#[test]
+fn aborted_run_dumps_a_parseable_postmortem() {
+    let dir = std::env::temp_dir().join(format!("lowband-postmortem-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("LOWBAND_RESULTS_DIR", &dir);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let inst = Instance::new(
+        gen::uniform_sparse(64, 4, &mut rng),
+        gen::uniform_sparse(64, 4, &mut rng),
+        gen::uniform_sparse(64, 4, &mut rng),
+    );
+    // Heavy seeded faults + zero retries: the first detected failure
+    // aborts the run instead of rolling back.
+    let spec = FaultSpec {
+        seed: 0xDEAD,
+        drop_rate: 0.3,
+        corrupt_rate: 0.3,
+        crash_rate: 0.1,
+    };
+    let policy = RetryPolicy {
+        checkpoint_every: 8,
+        max_attempts: 0,
+        base_round_budget: 1 << 20,
+    };
+    let mut recorder = FlightRecorder::new(128);
+    let mut metrics = MetricsRegistry::new();
+    let (result, dump) = run_resilient_recorded::<Fp>(
+        &inst,
+        Algorithm::BoundedTriangles,
+        7,
+        &spec,
+        policy,
+        &mut recorder,
+        &mut metrics,
+        "faulted-run",
+    );
+    assert!(result.is_err(), "no-retry policy must abort under faults");
+    let path = dump.expect("abort must produce a post-mortem dump");
+    assert!(path.starts_with(dir.join("postmortem")));
+    assert!(path
+        .file_name()
+        .and_then(|f| f.to_str())
+        .is_some_and(|f| f.starts_with("faulted-run-") && f.ends_with(".trace.json")));
+
+    // The dump parses and is a structurally valid Chrome trace.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = json::parse(&text).expect("dump is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some(ph))
+            .count()
+    };
+    assert_eq!(count("B"), count("E"), "span stream balances");
+    let other = doc.get("otherData").expect("otherData");
+    assert!(other
+        .get("reason")
+        .and_then(|v| v.as_str())
+        .is_some_and(|r| !r.is_empty()));
+    // The caller-supplied metrics snapshot rode along.
+    assert!(other.get("metrics").is_some());
+
+    std::env::remove_var("LOWBAND_RESULTS_DIR");
+    std::fs::remove_dir_all(&dir).ok();
+}
