@@ -172,6 +172,7 @@ fn recovery_cost(
         ],
         &[10, 10, 9, 9, 9, 10, 8],
     );
+    let (mut drops, mut corruptions, mut crashes) = (0usize, 0usize, 0usize);
     for rate in [0.01f64, 0.05, 0.10] {
         for cadence in [8usize, 32] {
             let spec = FaultSpec {
@@ -190,6 +191,9 @@ fn recovery_cost(
                     .expect("recoverable run")
             });
             assert!(report.report.correct, "recovered run must verify");
+            drops += report.stats.fault_drops;
+            corruptions += report.stats.fault_corruptions;
+            crashes += report.stats.fault_crashes;
             if budget
                 .iter()
                 .all(|e| !e.label.starts_with("recovery recovered"))
@@ -207,6 +211,9 @@ fn recovery_cost(
                     .set("fault_rate", rate)
                     .set("checkpoint_every", cadence)
                     .set("injected", report.stats.faults_injected)
+                    .set("drops", report.stats.fault_drops)
+                    .set("corruptions", report.stats.fault_corruptions)
+                    .set("crashes", report.stats.fault_crashes)
                     .set("failures", report.failures)
                     .set("replayed_rounds", report.replayed_rounds)
                     .set("rounds", report.report.rounds)
@@ -223,6 +230,20 @@ fn recovery_cost(
             ]);
         }
     }
+    // Per-kind injection totals across the whole grid: the chaos harness and
+    // regression checks read these instead of re-deriving them from rates.
+    artifact.section(
+        "fault_kinds",
+        Json::obj()
+            .set("drops", drops)
+            .set("corruptions", corruptions)
+            .set("crashes", crashes)
+            .set("total", drops + corruptions + crashes),
+    );
+    println!(
+        "\nfault kinds across the grid: {drops} drops, {corruptions} corruptions, \
+         {crashes} crashes"
+    );
     println!(
         "\nreplayed rounds scale with cadence × failures: the checkpoint interval is\n\
          the replay bound per failure, the classic recovery-overhead trade-off."

@@ -24,9 +24,16 @@ use lowband_bench::report::{
 /// Required sections for artifacts with a known schema; files not listed
 /// here only get the generic envelope + observability checks.
 const KNOWN: &[(&str, &[&str])] = &[
-    ("recovery", &["checkpoint_overhead", "recovery_cost"]),
+    (
+        "recovery",
+        &["checkpoint_overhead", "recovery_cost", "fault_kinds"],
+    ),
     ("batch", &["amortized", "cache", "parallel", "packed"]),
     ("baseline", &["probes", "meta"]),
+    (
+        "chaos",
+        &["survival", "rungs", "breaker", "deadline", "fault_kinds"],
+    ),
 ];
 
 /// Batch-specific deep check: the `cache` section must expose a
@@ -40,6 +47,33 @@ fn validate_batch_cache(doc: &lowband_bench::report::Json) -> Result<(), String>
         .ok_or("cache: missing \"hit_rate\" number")?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(format!("cache: hit_rate {rate} outside [0, 1]"));
+    }
+    Ok(())
+}
+
+/// Chaos-specific deep check (DESIGN.md §14): every request must have
+/// ended in a typed outcome (survival rate exactly 1.0 — zero process
+/// aborts) and the served rate must clear the soak gate.
+fn validate_chaos(doc: &lowband_bench::report::Json) -> Result<(), String> {
+    let survival = doc
+        .get("sections")
+        .and_then(|s| s.get("survival"))
+        .ok_or("chaos: missing \"survival\" section")?;
+    let survived = survival
+        .get("survived_rate")
+        .and_then(|v| v.as_f64())
+        .ok_or("chaos: missing \"survived_rate\" number")?;
+    if survived < 1.0 {
+        return Err(format!(
+            "chaos: survived_rate {survived} < 1.0 — a request ended without a typed outcome"
+        ));
+    }
+    let served = survival
+        .get("served_rate")
+        .and_then(|v| v.as_f64())
+        .ok_or("chaos: missing \"served_rate\" number")?;
+    if served < 0.9 {
+        return Err(format!("chaos: served_rate {served} below the 0.9 gate"));
     }
     Ok(())
 }
@@ -79,6 +113,9 @@ fn main() {
             validate_observability(&doc)?;
             if stem == "batch" {
                 validate_batch_cache(&doc)?;
+            }
+            if stem == "chaos" {
+                validate_chaos(&doc)?;
             }
             Ok(n)
         }) {

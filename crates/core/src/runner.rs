@@ -10,11 +10,11 @@ use lowband_matrix::algebra::SampleElement;
 use lowband_matrix::{
     reference_multiply, reference_multiply_into, Bool, Fp, Gf2, MinPlus, SparseMatrix, Wrap64,
 };
-use lowband_model::faults::Fault;
+use lowband_model::faults::{Fault, FaultKind};
 use lowband_model::parallel::shard_bounds;
 use lowband_model::{
-    ExecutionStats, FaultSpec, LinkedMachine, LinkedSchedule, ModelError, NoopTracer,
-    PackedLinkedMachine, PackedSemiring, RunWindow, Schedule, Semiring, Tracer,
+    ExecutionStats, FaultHook, FaultPlan, FaultSpec, LinkedMachine, LinkedSchedule, ModelError,
+    NoopTracer, PackedLinkedMachine, PackedSemiring, RunWindow, Schedule, Semiring, Tracer,
 };
 use lowband_trace::{FlightRecorder, Json, MetricsRegistry};
 use rand::SeedableRng;
@@ -25,6 +25,7 @@ use crate::algorithms::{
 };
 use crate::densemm::DenseEngine;
 use crate::instance::{Instance, PackedSites};
+use crate::supervise::{Backoff, Deadline, ResilientError, Rung};
 use crate::triangles::TriangleSet;
 
 /// Which algorithm to run.
@@ -49,7 +50,7 @@ pub enum Algorithm {
 }
 
 /// The outcome of one verified run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunReport {
     /// Communication rounds actually executed.
     pub rounds: usize,
@@ -65,6 +66,10 @@ pub struct RunReport {
     /// Executor throughput (simulated events per wall-clock second);
     /// `None` when the run was below clock resolution.
     pub events_per_sec: Option<f64>,
+    /// Which execution backend produced the result — the degradation-
+    /// ladder rung (see [`Rung`]). Plain unsupervised runs report the
+    /// backend they ran on ([`Rung::Linked`] / [`Rung::Packed`]).
+    pub rung: Rung,
 }
 
 /// Compile, execute with seeded random values of type `S`, verify.
@@ -227,6 +232,7 @@ fn execute_seeded<S: Semiring + SampleElement, T: Tracer>(
         triangles: plan.triangles,
         correct,
         events_per_sec: stats.events_per_sec(),
+        rung: Rung::Linked,
     })
 }
 
@@ -289,6 +295,20 @@ pub trait BatchElement: Semiring + SampleElement {
         lanes: usize,
         tracer: &mut T,
     ) -> Result<Vec<RunReport>, ModelError>;
+
+    /// Execute ONE seed (lane 0 of a packed machine) through `plan` under
+    /// a fault hook — the packed rung of the supervision ladder. Called
+    /// by [`run_packed_guarded_seeded_traced`]; `lanes` must be in
+    /// [`BatchElement::LANE_WIDTHS`].
+    fn run_packed_guarded_traced<T: Tracer, F: FaultHook>(
+        inst: &Instance,
+        plan: &CompiledPlan,
+        seed: u64,
+        lanes: usize,
+        faults: &mut F,
+        out: Option<&mut SparseMatrix<Self>>,
+        tracer: &mut T,
+    ) -> Result<RunReport, ModelError>;
 }
 
 macro_rules! batch_element {
@@ -306,6 +326,21 @@ macro_rules! batch_element {
             ) -> Result<Vec<RunReport>, ModelError> {
                 match lanes {
                     $($w => packed_batch::<$t, $w, T>(inst, plan, seeds, tracer),)+
+                    other => Err(ModelError::PackedLanesUnsupported { lanes: other }),
+                }
+            }
+
+            fn run_packed_guarded_traced<T: Tracer, F: FaultHook>(
+                inst: &Instance,
+                plan: &CompiledPlan,
+                seed: u64,
+                lanes: usize,
+                faults: &mut F,
+                out: Option<&mut SparseMatrix<Self>>,
+                tracer: &mut T,
+            ) -> Result<RunReport, ModelError> {
+                match lanes {
+                    $($w => packed_guarded::<$t, $w, T, F>(inst, plan, seed, faults, out, tracer),)+
                     other => Err(ModelError::PackedLanesUnsupported { lanes: other }),
                 }
             }
@@ -383,11 +418,65 @@ where
                 // matrix equality.
                 correct: got.values() == want.values(),
                 events_per_sec: stats.events_per_sec(),
+                rung: Rung::Packed,
             });
         }
         tracer.span_exit("verify");
     }
     Ok(reports)
+}
+
+/// One seed in lane 0 of a packed machine, executed under a fault hook —
+/// the monomorphized body of [`BatchElement::run_packed_guarded_traced`].
+/// The unused lanes stay zero planes; detection still covers them (lane
+/// checksums), so an injected fault anywhere surfaces as a typed error.
+fn packed_guarded<S, const LANES: usize, T: Tracer, F: FaultHook>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seed: u64,
+    faults: &mut F,
+    out: Option<&mut SparseMatrix<S>>,
+    tracer: &mut T,
+) -> Result<RunReport, ModelError>
+where
+    S: PackedSemiring<LANES> + SampleElement,
+{
+    let mut machine: PackedLinkedMachine<'_, S, LANES> = PackedLinkedMachine::new(&plan.linked);
+    let sites = PackedSites::new(inst, &plan.linked);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut a: SparseMatrix<S> = SparseMatrix::zeros(inst.ahat.clone());
+    let mut b: SparseMatrix<S> = SparseMatrix::zeros(inst.bhat.clone());
+    a.refill_random(&mut rng);
+    b.refill_random(&mut rng);
+    tracer.span_enter("load");
+    sites.load_lane(&mut machine, 0, &a, &b);
+    tracer.span_exit("load");
+    let mut stats = ExecutionStats::default();
+    tracer.span_enter("run");
+    let run_result = machine.run_guarded(tracer, faults, RunWindow::full(), &mut stats);
+    tracer.span_exit("run");
+    run_result?;
+    tracer.span_enter("verify");
+    let mut got: SparseMatrix<S> = SparseMatrix::zeros(inst.xhat.clone());
+    let mut want: SparseMatrix<S> = SparseMatrix::zeros(inst.xhat.clone());
+    sites.extract_lane_into(&machine, 0, &mut got);
+    reference_multiply_into(&a, &b, &mut want);
+    // Both live on the X̂ support, so value equality is full matrix
+    // equality.
+    let correct = got.values() == want.values();
+    tracer.span_exit("verify");
+    if let Some(o) = out {
+        *o = got;
+    }
+    Ok(RunReport {
+        rounds: stats.rounds,
+        messages: stats.messages,
+        modeled_rounds: plan.modeled_rounds,
+        triangles: plan.triangles,
+        correct,
+        events_per_sec: stats.events_per_sec(),
+        rung: Rung::Packed,
+    })
 }
 
 /// Execute one seeded value-set per entry of `seeds` through a prepared
@@ -485,6 +574,127 @@ pub fn run_plan_batch<S: BatchElement>(
     run_plan_batch_traced::<S, _>(inst, plan, seeds, mode, &mut NoopTracer)
 }
 
+/// [`run_plan_batch_traced`] with **per-element** error isolation: one
+/// failing member produces an `Err` in its own slot instead of sinking
+/// the other K−1 results. The outer `Result` rejects only batch-level
+/// configuration errors (an unsupported packed lane width); every
+/// execution-time error is element-local.
+///
+/// - `Sequential`: the machine is reset between members
+///   ([`LinkedMachine::reset_values`]), so a member that errors leaves no
+///   state behind for the next.
+/// - `Parallel`: a worker that panics yields
+///   [`ModelError::WorkerPanicked`] for each member of its share only.
+/// - `Packed`: a lane group that fails detection is re-run member by
+///   member on the sequential backend, isolating the corrupt member (its
+///   report then carries [`Rung::Linked`]).
+pub fn run_plan_batch_elementwise_traced<S: BatchElement, T: Tracer>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seeds: &[u64],
+    mode: BatchMode,
+    tracer: &mut T,
+) -> Result<Vec<Result<RunReport, ModelError>>, ModelError> {
+    tracer.counter("batch.runs", seeds.len() as u64);
+    match mode {
+        BatchMode::Packed { lanes } => {
+            let lanes = if lanes == 0 { S::DEFAULT_LANES } else { lanes };
+            if !S::LANE_WIDTHS.contains(&lanes) {
+                return Err(ModelError::PackedLanesUnsupported { lanes });
+            }
+            tracer.counter("batch.lanes", lanes as u64);
+            let mut machine: LinkedMachine<'_, S> = LinkedMachine::new(&plan.linked);
+            let mut scratch = ValueScratch::new(inst);
+            let mut results = Vec::with_capacity(seeds.len());
+            for group in seeds.chunks(lanes) {
+                match S::run_packed_batch_traced(inst, plan, group, lanes, tracer) {
+                    Ok(reports) => results.extend(reports.into_iter().map(Ok)),
+                    Err(_) => {
+                        // The group failed as a unit — isolate the corrupt
+                        // member(s) by re-running each one sequentially.
+                        tracer.counter("batch.group_isolated", 1);
+                        results.extend(group.iter().map(|&seed| {
+                            execute_seeded(inst, plan, &mut machine, &mut scratch, seed, tracer)
+                        }));
+                    }
+                }
+            }
+            Ok(results)
+        }
+        BatchMode::Sequential => {
+            let mut machine: LinkedMachine<'_, S> = LinkedMachine::new(&plan.linked);
+            let mut scratch = ValueScratch::new(inst);
+            Ok(seeds
+                .iter()
+                .map(|&seed| execute_seeded(inst, plan, &mut machine, &mut scratch, seed, tracer))
+                .collect())
+        }
+        BatchMode::Parallel { threads } => {
+            let threads = if threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            } else {
+                threads
+            }
+            .clamp(1, seeds.len().max(1));
+            tracer.counter("batch.threads", threads as u64);
+            let bounds = shard_bounds(seeds.len(), threads);
+            let worker_results: Vec<Vec<Result<RunReport, ModelError>>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|s| {
+                            let share = &seeds[bounds[s]..bounds[s + 1]];
+                            scope.spawn(move || {
+                                let mut machine: LinkedMachine<'_, S> =
+                                    LinkedMachine::new(&plan.linked);
+                                let mut scratch = ValueScratch::new(inst);
+                                share
+                                    .iter()
+                                    .map(|&seed| {
+                                        execute_seeded(
+                                            inst,
+                                            plan,
+                                            &mut machine,
+                                            &mut scratch,
+                                            seed,
+                                            &mut NoopTracer,
+                                        )
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .enumerate()
+                        .map(|(s, h)| {
+                            h.join().unwrap_or_else(|_| {
+                                // The panic sank this worker's share only:
+                                // one typed error per member it owned.
+                                vec![
+                                    Err(ModelError::WorkerPanicked { step: 0 });
+                                    bounds[s + 1] - bounds[s]
+                                ]
+                            })
+                        })
+                        .collect()
+                });
+            Ok(worker_results.into_iter().flatten().collect())
+        }
+    }
+}
+
+/// [`run_plan_batch_elementwise_traced`] without instrumentation.
+pub fn run_plan_batch_elementwise<S: BatchElement>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seeds: &[u64],
+    mode: BatchMode,
+) -> Result<Vec<Result<RunReport, ModelError>>, ModelError> {
+    run_plan_batch_elementwise_traced::<S, _>(inst, plan, seeds, mode, &mut NoopTracer)
+}
+
 /// Compile once, execute many: one structure-dependent compile + link,
 /// then every seed in `seeds` streamed through the resulting plan. The
 /// amortized counterpart of calling [`run_algorithm`] per seed.
@@ -539,7 +749,7 @@ impl Default for RetryPolicy {
 
 /// The outcome of one [`run_resilient`] call: the verified report plus the
 /// recovery accounting.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ResilientReport {
     /// The usual verified run outcome.
     pub report: RunReport,
@@ -591,17 +801,88 @@ pub fn run_resilient_traced<S: Semiring + SampleElement, T: Tracer>(
     tracer: &mut T,
 ) -> Result<ResilientReport, ModelError> {
     let compiled = compile_plan_traced(inst, algorithm, false, tracer)?;
-    let (ts_len, modeled) = (compiled.triangles, compiled.modeled_rounds);
-    let schedule = &compiled.schedule;
+    let mut faults = spec.plan(compiled.schedule.rounds(), compiled.schedule.n());
+    let mut deadline = Deadline::none();
+    let mut sup = Supervision {
+        policy,
+        deadline: &mut deadline,
+        backoff: None,
+    };
+    run_resilient_plan_traced::<S, T>(
+        inst,
+        &compiled,
+        seed,
+        &mut faults,
+        &mut sup,
+        None::<&mut SparseMatrix<S>>,
+        tracer,
+    )
+    .map_err(|e| match e {
+        ResilientError::RetriesExhausted { error, .. } | ResilientError::Fatal { error } => error,
+        ResilientError::DeadlineExceeded { .. } => {
+            unreachable!("an unlimited deadline cannot expire")
+        }
+    })
+}
+
+/// The retry-loop controls of one supervised resilient run: the retry
+/// policy plus the request-level [`Deadline`] and optional [`Backoff`]
+/// shared across every rung of a degradation ladder.
+pub struct Supervision<'a> {
+    /// Checkpoint cadence and give-up thresholds.
+    pub policy: RetryPolicy,
+    /// Request deadline — checked before every window and charged by
+    /// virtual backoff delays.
+    pub deadline: &'a mut Deadline,
+    /// Delay between rollback and replay; `None` replays immediately
+    /// (the pre-supervision behavior).
+    pub backoff: Option<&'a mut Backoff>,
+}
+
+/// Fill the per-kind fault counters of `stats` from a fired-fault log.
+pub fn fill_fault_kinds(stats: &mut ExecutionStats, log: &[Fault]) {
+    stats.fault_drops = 0;
+    stats.fault_corruptions = 0;
+    stats.fault_crashes = 0;
+    for fault in log {
+        match fault.kind {
+            FaultKind::Drop => stats.fault_drops += 1,
+            FaultKind::Corrupt => stats.fault_corruptions += 1,
+            FaultKind::Crash => stats.fault_crashes += 1,
+        }
+    }
+}
+
+/// The supervised core of [`run_resilient_traced`]: execute one seeded
+/// value-set through an already-compiled plan on the linked sequential
+/// backend in checkpointed windows, rolling back and replaying on every
+/// detected fault, under an externally owned [`FaultPlan`], [`Deadline`]
+/// and optional [`Backoff`].
+///
+/// The caller owns the fault plan so one plan can span several attempts
+/// (the degradation ladder drains its one-shot faults across rungs). On
+/// failure the typed [`ResilientError`] carries the partial
+/// [`ResilientReport`] accumulated so far (`report.correct == false`).
+/// On success, `out` (when given) receives the extracted product so
+/// callers can compare outputs bit-for-bit across rungs.
+pub fn run_resilient_plan_traced<S: Semiring + SampleElement, T: Tracer>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seed: u64,
+    faults: &mut FaultPlan,
+    sup: &mut Supervision<'_>,
+    mut out: Option<&mut SparseMatrix<S>>,
+    tracer: &mut T,
+) -> Result<ResilientReport, ResilientError> {
+    let (ts_len, modeled) = (plan.triangles, plan.modeled_rounds);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
     let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
     tracer.span_enter("load");
-    let mut machine = inst.load_linked(&a, &b, &compiled.linked);
+    let mut machine = inst.load_linked(&a, &b, &plan.linked);
     tracer.span_exit("load");
 
-    let mut plan = spec.plan(schedule.rounds(), schedule.n());
-    let window_rounds = policy.checkpoint_every.max(1);
+    let window_rounds = sup.policy.checkpoint_every.max(1);
     // The initial checkpoint covers the freshly loaded inputs, so even a
     // first-round fault rolls back to a complete state.
     let mut ckpt = machine.checkpoint(0, ExecutionStats::default());
@@ -610,10 +891,55 @@ pub fn run_resilient_traced<S: Semiring + SampleElement, T: Tracer>(
     let mut replayed_rounds = 0usize;
     let mut stats = ExecutionStats::default();
 
+    // Snapshot the progress so far into a (partial or final) report. The
+    // executors never touch the fault counters (single writer): the
+    // driver owns them, so the totals are consistent with its own log.
+    let snapshot = |mut stats: ExecutionStats,
+                    correct: bool,
+                    failures: usize,
+                    replayed_rounds: usize,
+                    checkpoints: usize,
+                    faults: &FaultPlan| {
+        stats.faults_injected = faults.injected();
+        stats.faults_detected = failures;
+        stats.recoveries = failures;
+        fill_fault_kinds(&mut stats, &faults.log());
+        ResilientReport {
+            report: RunReport {
+                rounds: stats.rounds,
+                messages: stats.messages,
+                modeled_rounds: modeled,
+                triangles: ts_len,
+                correct,
+                events_per_sec: stats.events_per_sec(),
+                rung: Rung::Linked,
+            },
+            fault_log: faults.log(),
+            stats,
+            failures,
+            replayed_rounds,
+            checkpoints,
+        }
+    };
+
     tracer.span_enter("run");
     loop {
+        if sup.deadline.expired() {
+            tracer.span_exit("run");
+            tracer.counter("supervise.deadline.miss", 1);
+            return Err(ResilientError::DeadlineExceeded {
+                partial: Box::new(snapshot(
+                    stats,
+                    false,
+                    failures,
+                    replayed_rounds,
+                    checkpoints,
+                    faults,
+                )),
+            });
+        }
         let window = RunWindow::new(ckpt.next_step(), window_rounds);
-        match machine.run_guarded(tracer, &mut plan, window, &mut stats) {
+        match machine.run_guarded(tracer, faults, window, &mut stats) {
             Ok(None) => break,
             Ok(Some(next_step)) => {
                 ckpt = machine.checkpoint(next_step, stats);
@@ -627,52 +953,157 @@ pub fn run_resilient_traced<S: Semiring + SampleElement, T: Tracer>(
                 failures += 1;
                 replayed_rounds += stats.rounds - ckpt.stats().rounds;
                 let shift = (failures - 1).min(32) as u32;
-                let budget = policy
+                let budget = sup
+                    .policy
                     .base_round_budget
                     .checked_shl(shift)
                     .unwrap_or(usize::MAX);
-                if failures > policy.max_attempts || replayed_rounds > budget {
+                if failures > sup.policy.max_attempts || replayed_rounds > budget {
                     tracer.span_exit("run");
-                    return Err(e);
+                    return Err(ResilientError::RetriesExhausted {
+                        error: e,
+                        partial: Box::new(snapshot(
+                            stats,
+                            false,
+                            failures,
+                            replayed_rounds,
+                            checkpoints,
+                            faults,
+                        )),
+                    });
                 }
-                machine.restore(&ckpt)?;
+                if let Err(restore_err) = machine.restore(&ckpt) {
+                    tracer.span_exit("run");
+                    return Err(ResilientError::Fatal { error: restore_err });
+                }
                 stats = ckpt.stats();
                 tracer.fault("fault.recovered", stats.rounds as u64);
+                if let Some(backoff) = sup.backoff.as_deref_mut() {
+                    let delay = backoff.pause(sup.deadline);
+                    tracer.counter("supervise.backoff_nanos", delay.as_nanos() as u64);
+                }
             }
             Err(e) => {
                 tracer.span_exit("run");
-                return Err(e);
+                return Err(ResilientError::Fatal { error: e });
             }
         }
     }
     tracer.span_exit("run");
-
-    // The executors never touch the fault counters (single writer): the
-    // driver owns them, so the totals are consistent with its own log.
-    stats.faults_injected = plan.injected();
-    stats.faults_detected = failures;
-    stats.recoveries = failures;
 
     tracer.span_enter("verify");
     let got = inst.extract_x_from(&machine);
     let want = reference_multiply(&a, &b, &inst.xhat);
     let correct = got == want;
     tracer.span_exit("verify");
-    Ok(ResilientReport {
-        report: RunReport {
-            rounds: stats.rounds,
-            messages: stats.messages,
-            modeled_rounds: modeled,
-            triangles: ts_len,
-            correct,
-            events_per_sec: stats.events_per_sec(),
-        },
+    let resilient = snapshot(
         stats,
+        correct,
         failures,
         replayed_rounds,
         checkpoints,
-        fault_log: plan.log(),
+        faults,
+    );
+    if let Some(o) = out.take() {
+        *o = got;
+    }
+    Ok(resilient)
+}
+
+/// The packed rung of the degradation ladder: one seeded value-set in
+/// lane 0 of a [`PackedLinkedMachine`], executed under the fault hook.
+/// Values come from the same seeded RNG consumption as every other path
+/// (`a` before `b`), so a correct run's output is bit-identical to the
+/// scalar rungs'. `lanes == 0` selects [`BatchElement::DEFAULT_LANES`].
+pub fn run_packed_guarded_seeded_traced<S: BatchElement, T: Tracer, F: FaultHook>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seed: u64,
+    lanes: usize,
+    faults: &mut F,
+    out: Option<&mut SparseMatrix<S>>,
+    tracer: &mut T,
+) -> Result<RunReport, ModelError> {
+    let lanes = if lanes == 0 { S::DEFAULT_LANES } else { lanes };
+    S::run_packed_guarded_traced(inst, plan, seed, lanes, faults, out, tracer)
+}
+
+/// The hash-map rung of the degradation ladder: the whole schedule in one
+/// guarded pass on the [`Machine`](lowband_model::Machine) reference
+/// executor — slower than the linked interpreters but a structurally
+/// independent code path, which is exactly what a supervisor wants after
+/// both linked backends have failed.
+pub fn run_hashmap_guarded_seeded_traced<S: Semiring + SampleElement, T: Tracer, F: FaultHook>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seed: u64,
+    faults: &mut F,
+    out: Option<&mut SparseMatrix<S>>,
+    tracer: &mut T,
+) -> Result<RunReport, ModelError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
+    let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
+    tracer.span_enter("load");
+    let mut machine = inst.load_machine(&a, &b);
+    tracer.span_exit("load");
+    let mut stats = ExecutionStats::default();
+    tracer.span_enter("run");
+    let run_result = machine.run_guarded(
+        &plan.schedule,
+        tracer,
+        faults,
+        RunWindow::full(),
+        &mut stats,
+    );
+    tracer.span_exit("run");
+    run_result?;
+    tracer.span_enter("verify");
+    let got = inst.extract_x_from(&machine);
+    let want = reference_multiply(&a, &b, &inst.xhat);
+    let correct = got == want;
+    tracer.span_exit("verify");
+    if let Some(o) = out {
+        *o = got;
+    }
+    Ok(RunReport {
+        rounds: stats.rounds,
+        messages: stats.messages,
+        modeled_rounds: plan.modeled_rounds,
+        triangles: plan.triangles,
+        correct,
+        events_per_sec: stats.events_per_sec(),
+        rung: Rung::HashMap,
     })
+}
+
+/// The bottom rung of the degradation ladder: compute the product locally
+/// via [`reference_multiply`] — no schedule, no network, no faults, and
+/// therefore no failure mode. Same seeded RNG consumption as every
+/// execution path, so the output is bit-identical to a fault-free run.
+pub fn run_reference_seeded<S: Semiring + SampleElement>(
+    inst: &Instance,
+    plan: &CompiledPlan,
+    seed: u64,
+    out: Option<&mut SparseMatrix<S>>,
+) -> RunReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
+    let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
+    let want = reference_multiply(&a, &b, &inst.xhat);
+    if let Some(o) = out {
+        *o = want;
+    }
+    RunReport {
+        rounds: 0,
+        messages: 0,
+        modeled_rounds: plan.modeled_rounds,
+        triangles: plan.triangles,
+        // The reference product *is* the ground truth.
+        correct: true,
+        events_per_sec: None,
+        rung: Rung::Reference,
+    }
 }
 
 /// [`run_resilient_traced`] under a flight recorder: `recorder` and

@@ -35,6 +35,13 @@ pub struct ExecutionStats {
     pub faults_detected: usize,
     /// Checkpoint restores performed to complete the run.
     pub recoveries: usize,
+    /// Injected message drops (the per-kind breakdown of
+    /// [`ExecutionStats::faults_injected`]; filled by the same drivers).
+    pub fault_drops: usize,
+    /// Injected value corruptions.
+    pub fault_corruptions: usize,
+    /// Injected node crashes.
+    pub fault_crashes: usize,
     /// Wall-clock time of the execution (not part of equality).
     pub elapsed: Duration,
 }
@@ -73,6 +80,9 @@ impl PartialEq for ExecutionStats {
             && self.faults_injected == other.faults_injected
             && self.faults_detected == other.faults_detected
             && self.recoveries == other.recoveries
+            && self.fault_drops == other.fault_drops
+            && self.fault_corruptions == other.fault_corruptions
+            && self.fault_crashes == other.fault_crashes
     }
 }
 

@@ -10,17 +10,22 @@
 //! evictions are counted on the cache and emitted as `serve.cache.*`
 //! tracer counters.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use lowband_check::lint_linked_traced;
-use lowband_core::{compile_plan_traced, Algorithm, CompiledPlan, Instance};
+use lowband_core::{
+    compile_plan_traced, run_plan_batch_traced, Algorithm, BatchElement, BatchMode, CompiledPlan,
+    Instance, ResilientReport,
+};
 use lowband_model::{ModelError, NoopTracer, Tracer};
 
 use crate::key::StructureKey;
 
-/// Errors of the serving layer: the plan failed to compile/link, or the
-/// compiled artifact failed the insert-time lint.
+/// Errors of the serving layer: the plan failed to compile/link, the
+/// compiled artifact failed the insert-time lint, or the supervision
+/// machinery refused/abandoned the request (deadline, breaker,
+/// quarantine).
 #[derive(Clone, PartialEq, Debug)]
 pub enum ServeError {
     /// Compilation or linking failed.
@@ -32,6 +37,28 @@ pub enum ServeError {
         /// The first lint error, rendered.
         first: String,
     },
+    /// The request's [`lowband_core::Deadline`] expired mid-run. Carries
+    /// the partial progress accumulated before expiry.
+    DeadlineExceeded {
+        /// Progress at expiry (`report.correct == false`).
+        partial: Box<ResilientReport>,
+    },
+    /// The structure's circuit breaker is open: recent requests failed
+    /// consecutively and the cooldown has not elapsed.
+    BreakerOpen {
+        /// Requests remaining before a half-open probe is admitted.
+        cooldown_left: u32,
+    },
+    /// The structure's plan is quarantined after repeated detection
+    /// failures; it stays blocked until
+    /// [`ScheduleCache::try_readmit_traced`] passes.
+    Quarantined,
+    /// A quarantine readmission probe failed — the plan stays
+    /// quarantined.
+    ProbeFailed {
+        /// Why the probe failed, rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -40,6 +67,19 @@ impl std::fmt::Display for ServeError {
             ServeError::Model(e) => write!(f, "plan compilation failed: {e}"),
             ServeError::Lint { errors, first } => {
                 write!(f, "compiled plan failed lint ({errors} error(s)): {first}")
+            }
+            ServeError::DeadlineExceeded { partial } => write!(
+                f,
+                "request deadline exceeded after {} rounds ({} failures)",
+                partial.stats.rounds, partial.failures
+            ),
+            ServeError::BreakerOpen { cooldown_left } => write!(
+                f,
+                "circuit breaker open ({cooldown_left} request(s) until half-open probe)"
+            ),
+            ServeError::Quarantined => write!(f, "plan is quarantined pending readmission"),
+            ServeError::ProbeFailed { detail } => {
+                write!(f, "quarantine readmission probe failed: {detail}")
             }
         }
     }
@@ -53,7 +93,7 @@ impl From<ModelError> for ServeError {
     }
 }
 
-/// Hit/miss/eviction accounting of one cache.
+/// Hit/miss/eviction/quarantine accounting of one cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -66,6 +106,12 @@ pub struct CacheStats {
     pub len: usize,
     /// Maximum number of entries.
     pub capacity: usize,
+    /// Structures currently quarantined.
+    pub quarantined: usize,
+    /// Lookups refused because the structure was quarantined.
+    pub quarantine_blocked: u64,
+    /// Quarantined structures readmitted after a clean lint + probe.
+    pub readmissions: u64,
 }
 
 impl CacheStats {
@@ -88,6 +134,9 @@ impl CacheStats {
             .set("len", self.len)
             .set("capacity", self.capacity)
             .set("hit_rate", self.hit_rate())
+            .set("quarantined", self.quarantined)
+            .set("quarantine_blocked", self.quarantine_blocked)
+            .set("readmissions", self.readmissions)
     }
 }
 
@@ -101,10 +150,13 @@ struct Entry {
 pub struct ScheduleCache {
     capacity: usize,
     entries: HashMap<StructureKey, Entry>,
+    quarantined: HashSet<StructureKey>,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    quarantine_blocked: u64,
+    readmissions: u64,
 }
 
 impl ScheduleCache {
@@ -113,10 +165,13 @@ impl ScheduleCache {
         ScheduleCache {
             capacity: capacity.max(1),
             entries: HashMap::new(),
+            quarantined: HashSet::new(),
             tick: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
+            quarantine_blocked: 0,
+            readmissions: 0,
         }
     }
 
@@ -133,6 +188,11 @@ impl ScheduleCache {
         tracer: &mut T,
     ) -> Result<Arc<CompiledPlan>, ServeError> {
         let key = StructureKey::of(inst, algorithm, compress);
+        if self.quarantined.contains(&key) {
+            self.quarantine_blocked += 1;
+            tracer.counter("serve.quarantine.blocked", 1);
+            return Err(ServeError::Quarantined);
+        }
         self.tick += 1;
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_used = self.tick;
@@ -142,6 +202,18 @@ impl ScheduleCache {
         }
         self.misses += 1;
         tracer.counter("serve.cache.miss", 1);
+        let plan = self.compile_and_lint(inst, algorithm, compress, tracer)?;
+        Ok(self.insert_plan(key, plan, tracer))
+    }
+
+    /// Compile + link + lint a plan without touching the cache map.
+    fn compile_and_lint<T: Tracer>(
+        &mut self,
+        inst: &Instance,
+        algorithm: Algorithm,
+        compress: bool,
+        tracer: &mut T,
+    ) -> Result<CompiledPlan, ServeError> {
         let plan = compile_plan_traced(inst, algorithm, compress, tracer)?;
         let lint = lint_linked_traced(&plan.schedule, &plan.linked, tracer);
         let errors = lint.errors().count();
@@ -156,6 +228,16 @@ impl ScheduleCache {
                     .unwrap_or_default(),
             });
         }
+        Ok(plan)
+    }
+
+    /// LRU-evict if full, then insert, returning the shared handle.
+    fn insert_plan<T: Tracer>(
+        &mut self,
+        key: StructureKey,
+        plan: CompiledPlan,
+        tracer: &mut T,
+    ) -> Arc<CompiledPlan> {
         if self.entries.len() >= self.capacity {
             if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
                 self.entries.remove(&victim);
@@ -171,7 +253,102 @@ impl ScheduleCache {
                 last_used: self.tick,
             },
         );
-        Ok(plan)
+        plan
+    }
+
+    /// Quarantine a structure: evict its plan (if cached) and block every
+    /// lookup ([`ServeError::Quarantined`]) until a readmission passes.
+    /// Returns whether the structure was newly quarantined. Emits
+    /// `serve.quarantine.add` on new additions.
+    pub fn quarantine_traced<T: Tracer>(&mut self, key: StructureKey, tracer: &mut T) -> bool {
+        self.entries.remove(&key);
+        let newly = self.quarantined.insert(key);
+        if newly {
+            tracer.counter("serve.quarantine.add", 1);
+        }
+        newly
+    }
+
+    /// [`ScheduleCache::quarantine_traced`] without instrumentation.
+    pub fn quarantine(&mut self, key: StructureKey) -> bool {
+        self.quarantine_traced(key, &mut NoopTracer)
+    }
+
+    /// Whether this structure key is quarantined.
+    pub fn is_quarantined_key(&self, key: &StructureKey) -> bool {
+        self.quarantined.contains(key)
+    }
+
+    /// Whether this (instance, algorithm, compress) structure is
+    /// quarantined.
+    pub fn is_quarantined(&self, inst: &Instance, algorithm: Algorithm, compress: bool) -> bool {
+        self.is_quarantined_key(&StructureKey::of(inst, algorithm, compress))
+    }
+
+    /// Attempt to readmit a quarantined structure: recompile from
+    /// scratch, require a clean `lint_linked`, then require a **probe
+    /// run** (one seeded value-set on the sequential linked backend) to
+    /// verify against the reference product. Only a structure passing
+    /// both is reinserted and unblocked; a failing probe leaves it
+    /// quarantined ([`ServeError::ProbeFailed`]). A structure that is not
+    /// quarantined falls through to
+    /// [`ScheduleCache::get_or_compile_traced`].
+    ///
+    /// Emits `serve.quarantine.readmit` on success and
+    /// `serve.quarantine.probe_failed` on a failed probe.
+    pub fn try_readmit_traced<S: BatchElement, T: Tracer>(
+        &mut self,
+        inst: &Instance,
+        algorithm: Algorithm,
+        compress: bool,
+        probe_seed: u64,
+        tracer: &mut T,
+    ) -> Result<Arc<CompiledPlan>, ServeError> {
+        let key = StructureKey::of(inst, algorithm, compress);
+        if !self.quarantined.contains(&key) {
+            return self.get_or_compile_traced(inst, algorithm, compress, tracer);
+        }
+        let plan = self.compile_and_lint(inst, algorithm, compress, tracer)?;
+        let probe = run_plan_batch_traced::<S, T>(
+            inst,
+            &plan,
+            &[probe_seed],
+            BatchMode::Sequential,
+            tracer,
+        );
+        match probe {
+            Ok(reports) if reports.iter().all(|r| r.correct) => {
+                self.quarantined.remove(&key);
+                self.readmissions += 1;
+                tracer.counter("serve.quarantine.readmit", 1);
+                self.tick += 1;
+                self.misses += 1;
+                Ok(self.insert_plan(key, plan, tracer))
+            }
+            Ok(_) => {
+                tracer.counter("serve.quarantine.probe_failed", 1);
+                Err(ServeError::ProbeFailed {
+                    detail: "probe run produced an incorrect product".to_string(),
+                })
+            }
+            Err(e) => {
+                tracer.counter("serve.quarantine.probe_failed", 1);
+                Err(ServeError::ProbeFailed {
+                    detail: e.to_string(),
+                })
+            }
+        }
+    }
+
+    /// [`ScheduleCache::try_readmit_traced`] without instrumentation.
+    pub fn try_readmit<S: BatchElement>(
+        &mut self,
+        inst: &Instance,
+        algorithm: Algorithm,
+        compress: bool,
+        probe_seed: u64,
+    ) -> Result<Arc<CompiledPlan>, ServeError> {
+        self.try_readmit_traced::<S, _>(inst, algorithm, compress, probe_seed, &mut NoopTracer)
     }
 
     /// [`ScheduleCache::get_or_compile_traced`] without instrumentation.
@@ -200,7 +377,7 @@ impl ScheduleCache {
         self.entries.is_empty()
     }
 
-    /// Hit/miss/eviction accounting so far.
+    /// Hit/miss/eviction/quarantine accounting so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
@@ -208,12 +385,25 @@ impl ScheduleCache {
             evictions: self.evictions,
             len: self.entries.len(),
             capacity: self.capacity,
+            quarantined: self.quarantined.len(),
+            quarantine_blocked: self.quarantine_blocked,
+            readmissions: self.readmissions,
         }
     }
 
-    /// Drop every cached plan (accounting is kept).
+    /// Drop every cached plan, lift every quarantine, and **reset the
+    /// accounting** — a cleared cache reports like a fresh one, so a
+    /// reused cache cannot poison a later artifact's `cache` section with
+    /// stale hit/evict counts. Capacity is kept.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.quarantined.clear();
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+        self.quarantine_blocked = 0;
+        self.readmissions = 0;
     }
 }
 
@@ -309,6 +499,92 @@ mod tests {
         assert_eq!(metrics.counter_value("serve.cache.miss"), Some(1));
         assert_eq!(metrics.counter_value("serve.cache.hit"), Some(2));
         assert_eq!(metrics.counter_value("serve.cache.evict"), None);
+    }
+
+    #[test]
+    fn clear_resets_accounting_and_entries() {
+        let a = us_instance(24, 3, 8);
+        let b = us_instance(24, 3, 9);
+        let c = us_instance(24, 3, 10);
+        let mut cache = ScheduleCache::new(2);
+        for inst in [&a, &b, &a, &c] {
+            cache
+                .get_or_compile(inst, Algorithm::BoundedTriangles, false)
+                .unwrap();
+        }
+        let before = cache.stats();
+        assert_eq!(
+            (before.hits, before.misses, before.evictions, before.len),
+            (1, 3, 1, 2)
+        );
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!(
+            s,
+            CacheStats {
+                capacity: 2,
+                ..CacheStats::default()
+            }
+        );
+        assert!(cache.is_empty());
+        // A reused cache accounts from zero: one miss, then one hit, no
+        // stale eviction counts.
+        cache
+            .get_or_compile(&a, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        cache
+            .get_or_compile(&a, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn eviction_accounting_survives_reuse_only_until_clear() {
+        // Regression for the stale-accounting bug: evictions recorded
+        // before `clear` must not leak into post-clear stats.
+        let insts: Vec<Instance> = (0..4).map(|s| us_instance(24, 3, 100 + s)).collect();
+        let mut cache = ScheduleCache::new(1);
+        for inst in &insts {
+            cache
+                .get_or_compile(inst, Algorithm::BoundedTriangles, false)
+                .unwrap();
+        }
+        assert_eq!(cache.stats().evictions, 3);
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn quarantine_blocks_until_probe_readmits() {
+        use lowband_matrix::Fp;
+        let inst = us_instance(24, 3, 11);
+        let mut cache = ScheduleCache::new(4);
+        cache
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        let key = StructureKey::of(&inst, Algorithm::BoundedTriangles, false);
+        assert!(cache.quarantine(key), "first quarantine is new");
+        assert!(!cache.quarantine(key), "re-quarantine is idempotent");
+        assert!(cache.is_quarantined(&inst, Algorithm::BoundedTriangles, false));
+        assert_eq!(cache.len(), 0, "quarantine evicts the cached plan");
+        // Lookups are refused while quarantined.
+        assert!(matches!(
+            cache.get_or_compile(&inst, Algorithm::BoundedTriangles, false),
+            Err(ServeError::Quarantined)
+        ));
+        assert_eq!(cache.stats().quarantine_blocked, 1);
+        // A clean lint + probe readmits it; lookups work again.
+        let plan = cache
+            .try_readmit::<Fp>(&inst, Algorithm::BoundedTriangles, false, 77)
+            .unwrap();
+        assert!(!cache.is_quarantined_key(&key));
+        assert_eq!(cache.stats().readmissions, 1);
+        let hit = cache
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        assert!(Arc::ptr_eq(&plan, &hit), "readmitted plan is cached");
     }
 
     #[test]

@@ -28,7 +28,14 @@
 pub mod batch;
 pub mod cache;
 pub mod key;
+pub mod supervise;
 
-pub use batch::{run_batch, run_batch_recorded, run_batch_traced};
+pub use batch::{
+    run_batch, run_batch_elementwise, run_batch_elementwise_traced, run_batch_recorded,
+    run_batch_traced,
+};
 pub use cache::{CacheStats, ScheduleCache, ServeError};
 pub use key::StructureKey;
+pub use supervise::{
+    BreakerState, CircuitBreaker, SupervisedOutcome, Supervisor, SupervisorConfig,
+};

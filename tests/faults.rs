@@ -14,9 +14,12 @@
 //! * **recovery** — [`run_resilient`] drives a faulted run to the correct
 //!   product within its retry budget, reproducibly.
 
-use lowband::core::{run_resilient, Algorithm, Instance, RetryPolicy};
+use lowband::core::{
+    compile_plan, run_resilient, run_resilient_plan_traced, Algorithm, Deadline, Instance,
+    ResilientError, RetryPolicy, Supervision,
+};
 use lowband::faults::{Fault, FaultKind, FaultPlan, FaultSpec};
-use lowband::matrix::{gen, Fp};
+use lowband::matrix::{gen, Fp, SparseMatrix};
 use lowband::model::algebra::Nat;
 use lowband::model::{
     link, ExecutionStats, Key, LinkedMachine, LocalOp, Machine, Merge, ModelError, NodeId,
@@ -537,4 +540,156 @@ fn random_faulted_runs_never_panic_and_agree() {
         assert_eq!(plan_m.log(), plan_p.log(), "case {case}");
         assert_eq!(plan_m.log(), plan_l.log(), "case {case}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy edge cases, driven through `run_resilient_plan_traced` with
+// explicit one-shot fault plans so every boundary is deterministic.
+// ---------------------------------------------------------------------------
+
+/// Run one seeded value-set through a compiled plan under an explicit
+/// fault plan and policy (unlimited deadline, no backoff).
+fn resilient_with(
+    inst: &Instance,
+    plan: &lowband::core::CompiledPlan,
+    faults: Vec<Fault>,
+    policy: RetryPolicy,
+) -> Result<lowband::core::ResilientReport, ResilientError> {
+    let mut faults = FaultPlan::new(faults);
+    let mut deadline = Deadline::none();
+    let mut sup = Supervision {
+        policy,
+        deadline: &mut deadline,
+        backoff: None,
+    };
+    run_resilient_plan_traced::<Fp, _>(
+        inst,
+        plan,
+        5,
+        &mut faults,
+        &mut sup,
+        None::<&mut SparseMatrix<Fp>>,
+        &mut NoopTracer,
+    )
+}
+
+fn crash(round: usize, node: u32) -> Fault {
+    Fault {
+        round,
+        node,
+        kind: FaultKind::Crash,
+    }
+}
+
+/// `max_attempts = 0`: the very first detection exhausts the retries — no
+/// recovery is ever attempted, and the partial report carries the fault.
+#[test]
+fn max_attempts_zero_aborts_on_first_detection() {
+    let inst = us_instance(24, 3, 0xED6E);
+    let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).unwrap();
+    let policy = RetryPolicy {
+        checkpoint_every: 4,
+        max_attempts: 0,
+        base_round_budget: 1 << 16,
+    };
+    match resilient_with(&inst, &plan, vec![crash(1, 0)], policy) {
+        Err(ResilientError::RetriesExhausted { partial, .. }) => {
+            assert_eq!(partial.failures, 1);
+            assert!(!partial.report.correct);
+            assert_eq!(partial.stats.fault_crashes, 1);
+            assert_eq!(partial.stats.faults_detected, 1);
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    // The same policy with no faults is a clean success: zero attempts
+    // bounds *retries*, not first tries.
+    let r = resilient_with(&inst, &plan, Vec::new(), policy).expect("clean run");
+    assert!(r.report.correct);
+    assert_eq!(r.failures, 0);
+}
+
+/// `max_attempts = 1` is a knife edge: one recovery is allowed, so one
+/// fault recovers but two faults abort — and `max_attempts = 2` recovers
+/// both.
+#[test]
+fn max_attempts_one_recovers_one_fault_but_not_two() {
+    let inst = us_instance(24, 3, 0xED6E);
+    let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).unwrap();
+    let policy = |max_attempts: usize| RetryPolicy {
+        checkpoint_every: 4,
+        max_attempts,
+        base_round_budget: 1 << 16,
+    };
+    let one = resilient_with(&inst, &plan, vec![crash(1, 0)], policy(1))
+        .expect("one attempt recovers one fault");
+    assert!(one.report.correct);
+    assert_eq!(one.failures, 1);
+
+    let two_faults = vec![crash(1, 0), crash(2, 1)];
+    assert!(matches!(
+        resilient_with(&inst, &plan, two_faults.clone(), policy(1)),
+        Err(ResilientError::RetriesExhausted { .. })
+    ));
+    let two = resilient_with(&inst, &plan, two_faults, policy(2))
+        .expect("two attempts recover two faults");
+    assert!(two.report.correct);
+    assert_eq!(two.failures, 2);
+}
+
+/// The replay budget is strictly `replayed > budget`: a budget exactly
+/// equal to the replay cost recovers; one round less aborts.
+#[test]
+fn replay_budget_boundary_is_exact() {
+    let inst = us_instance(24, 3, 0xED6E);
+    let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).unwrap();
+    let policy = |base_round_budget: usize| RetryPolicy {
+        checkpoint_every: 8,
+        max_attempts: 4,
+        base_round_budget,
+    };
+    // Measure the replay cost of one mid-schedule crash under an
+    // unlimited budget.
+    let probe =
+        resilient_with(&inst, &plan, vec![crash(3, 0)], policy(1 << 16)).expect("recoverable run");
+    assert_eq!(probe.failures, 1);
+    let replayed = probe.replayed_rounds;
+    assert!(replayed > 0, "a round-3 crash must replay something");
+
+    // Exactly at the boundary: `replayed > budget` is false ⇒ recovers.
+    let at = resilient_with(&inst, &plan, vec![crash(3, 0)], policy(replayed))
+        .expect("budget == replay cost recovers");
+    assert!(at.report.correct);
+    // One below: aborts with the typed exhaustion error.
+    assert!(matches!(
+        resilient_with(&inst, &plan, vec![crash(3, 0)], policy(replayed - 1)),
+        Err(ResilientError::RetriesExhausted { .. })
+    ));
+}
+
+/// A checkpoint cadence far beyond the round count leaves only the initial
+/// post-load snapshot — clean runs take no mid-run checkpoints, and a
+/// faulted run rolls all the way back to the start and still recovers.
+#[test]
+fn cadence_beyond_round_count_keeps_only_the_initial_checkpoint() {
+    let inst = us_instance(24, 3, 0xED6E);
+    let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).unwrap();
+    let policy = RetryPolicy {
+        checkpoint_every: 100_000,
+        max_attempts: 4,
+        base_round_budget: 1 << 16,
+    };
+    let clean = resilient_with(&inst, &plan, Vec::new(), policy).expect("clean run");
+    assert!(clean.report.correct);
+    assert_eq!(clean.checkpoints, 1, "only the post-load snapshot");
+    assert_eq!(clean.replayed_rounds, 0);
+
+    let faulted =
+        resilient_with(&inst, &plan, vec![crash(3, 0)], policy).expect("full-replay recovery");
+    assert!(faulted.report.correct);
+    assert_eq!(faulted.checkpoints, 1, "no mid-run checkpoint to land on");
+    assert_eq!(faulted.failures, 1);
+    assert!(
+        faulted.replayed_rounds > 0,
+        "rollback to round 0 replays the whole prefix"
+    );
 }
