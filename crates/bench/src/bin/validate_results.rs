@@ -34,6 +34,17 @@ const KNOWN: &[(&str, &[&str])] = &[
         "chaos",
         &["survival", "rungs", "breaker", "deadline", "fault_kinds"],
     ),
+    (
+        "serving",
+        &[
+            "throughput",
+            "latency",
+            "hit_rate",
+            "rungs",
+            "rejections",
+            "correctness",
+        ],
+    ),
 ];
 
 /// Batch-specific deep check: the `cache` section must expose a
@@ -47,6 +58,32 @@ fn validate_batch_cache(doc: &lowband_bench::report::Json) -> Result<(), String>
         .ok_or("cache: missing \"hit_rate\" number")?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(format!("cache: hit_rate {rate} outside [0, 1]"));
+    }
+    Ok(())
+}
+
+/// Serving-specific deep check (DESIGN.md §15): the daemon must never
+/// have answered with a digest that failed client-side verification, and
+/// the cache hit-rate must be a clean number in `[0, 1]`.
+fn validate_serving(doc: &lowband_bench::report::Json) -> Result<(), String> {
+    let sections = doc.get("sections").ok_or("serving: missing sections")?;
+    let incorrect = sections
+        .get("correctness")
+        .and_then(|c| c.get("incorrect"))
+        .and_then(|v| v.as_u64())
+        .ok_or("serving: missing \"correctness.incorrect\" count")?;
+    if incorrect > 0 {
+        return Err(format!(
+            "serving: {incorrect} response(s) failed digest verification"
+        ));
+    }
+    let rate = sections
+        .get("hit_rate")
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(|v| v.as_f64())
+        .ok_or("serving: missing \"hit_rate.hit_rate\" number")?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("serving: hit_rate {rate} outside [0, 1]"));
     }
     Ok(())
 }
@@ -116,6 +153,9 @@ fn main() {
             }
             if stem == "chaos" {
                 validate_chaos(&doc)?;
+            }
+            if stem == "serving" {
+                validate_serving(&doc)?;
             }
             Ok(n)
         }) {

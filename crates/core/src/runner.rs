@@ -243,12 +243,16 @@ pub enum BatchMode {
     /// order via [`LinkedMachine::reset_values`] — zero allocation churn
     /// between runs.
     Sequential,
-    /// Independent value-sets fanned across worker threads (`0` selects
-    /// the available parallelism). Each worker owns one machine and
-    /// streams its contiguous share of the seeds through it; reports come
-    /// back in seed order regardless of thread count.
+    /// Independent value-sets fanned across worker threads. Each worker
+    /// owns one machine and streams its contiguous share of the seeds
+    /// through it; reports come back in seed order regardless of thread
+    /// count. `threads` must be ≥ 1 — a zero worker count is rejected
+    /// with [`ModelError::ZeroWorkers`] rather than silently substituted
+    /// with a machine-dependent default (callers that want "all cores"
+    /// should resolve `std::thread::available_parallelism` themselves).
+    /// More workers than seeds is fine: the surplus shards are empty.
     Parallel {
-        /// Worker count; `0` = available parallelism.
+        /// Worker count; must be ≥ 1.
         threads: usize,
     },
     /// Struct-of-arrays lane planes: the seed list is sharded into groups
@@ -507,14 +511,10 @@ pub fn run_plan_batch_traced<S: BatchElement, T: Tracer>(
                 .collect()
         }
         BatchMode::Parallel { threads } => {
-            let threads = if threads == 0 {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            } else {
-                threads
+            if threads == 0 {
+                return Err(ModelError::ZeroWorkers);
             }
-            .clamp(1, seeds.len().max(1));
+            let threads = threads.clamp(1, seeds.len().max(1));
             tracer.counter("batch.threads", threads as u64);
             // Same contiguous-block partition the sharded executors use
             // for nodes, applied to the seed list: worker `s` owns
@@ -630,14 +630,10 @@ pub fn run_plan_batch_elementwise_traced<S: BatchElement, T: Tracer>(
                 .collect())
         }
         BatchMode::Parallel { threads } => {
-            let threads = if threads == 0 {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            } else {
-                threads
+            if threads == 0 {
+                return Err(ModelError::ZeroWorkers);
             }
-            .clamp(1, seeds.len().max(1));
+            let threads = threads.clamp(1, seeds.len().max(1));
             tracer.counter("batch.threads", threads as u64);
             let bounds = shard_bounds(seeds.len(), threads);
             let worker_results: Vec<Vec<Result<RunReport, ModelError>>> =
@@ -1269,7 +1265,9 @@ mod tests {
         let seeds: Vec<u64> = (100..108).collect();
         let plan = compile_plan(&inst, Algorithm::BoundedTriangles, false).unwrap();
         let seq = run_plan_batch::<Fp>(&inst, &plan, &seeds, BatchMode::Sequential).unwrap();
-        for threads in [1usize, 2, 3, 0] {
+        // Includes worker counts beyond the seed count: surplus shards are
+        // empty, never out of bounds.
+        for threads in [1usize, 2, 3, 16] {
             let par = run_plan_batch::<Fp>(&inst, &plan, &seeds, BatchMode::Parallel { threads })
                 .unwrap();
             assert_eq!(par.len(), seq.len(), "threads={threads}");
@@ -1278,6 +1276,11 @@ mod tests {
                 assert_eq!((s.rounds, s.messages), (p.rounds, p.messages));
             }
         }
+        assert_eq!(
+            run_plan_batch::<Fp>(&inst, &plan, &seeds, BatchMode::Parallel { threads: 0 }),
+            Err(lowband_model::ModelError::ZeroWorkers),
+            "zero workers is a typed configuration error"
+        );
     }
 
     #[test]

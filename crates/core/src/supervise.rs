@@ -51,14 +51,16 @@ impl Deadline {
 
     /// Advance the virtual clock (used by virtual [`Backoff`] delays so
     /// backoff consumes budget without sleeping, and by deterministic
-    /// tests).
+    /// tests). Saturates rather than panicking when extreme backoff
+    /// delays (cap near `u64::MAX` ns) accumulate past `Duration::MAX`.
     pub fn advance(&mut self, d: Duration) {
-        self.virtual_elapsed += d;
+        self.virtual_elapsed = self.virtual_elapsed.saturating_add(d);
     }
 
     /// Total elapsed: real monotonic time plus the virtual component.
+    /// Saturates at `Duration::MAX` alongside [`Deadline::advance`].
     pub fn elapsed(&self) -> Duration {
-        self.started.elapsed() + self.virtual_elapsed
+        self.started.elapsed().saturating_add(self.virtual_elapsed)
     }
 
     /// Whether the budget (if any) is spent.
@@ -119,13 +121,25 @@ impl Backoff {
     }
 
     /// Draw the next decorrelated-jitter delay without applying it.
+    ///
+    /// Every step of the arithmetic saturates at `u64::MAX` nanoseconds:
+    /// with `cap` (or `base`, or an accumulated `prev`) near the top of
+    /// the range the step must clamp — never wrap into a tiny delay,
+    /// panic on an empty sample range, or truncate a `u128` nanosecond
+    /// count. The drawn delay always lands in `[min(base, cap), cap]`.
     pub fn next_delay(&mut self) -> Duration {
-        let lo = self.base.as_nanos() as u64;
-        let hi = (self.prev.as_nanos() as u64).saturating_mul(3).max(lo + 1);
-        let cap = self.cap.as_nanos() as u64;
-        let d = Duration::from_nanos(self.rng.gen_range(lo..hi).min(cap));
+        let nanos = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let cap = nanos(self.cap);
+        let lo = nanos(self.base).min(cap);
+        let hi = nanos(self.prev).saturating_mul(3).min(cap);
+        let drawn = if hi > lo {
+            self.rng.gen_range(lo..=hi)
+        } else {
+            lo
+        };
+        let d = Duration::from_nanos(drawn);
         self.prev = d;
-        self.total += d;
+        self.total = self.total.saturating_add(d);
         self.delays += 1;
         d
     }

@@ -64,6 +64,11 @@ pub enum ModelError {
         /// The rejected lane count.
         lanes: usize,
     },
+    /// A parallel batch was requested with an explicit worker count of
+    /// zero. Zero workers can shard no work — `items / 0` has no quotient
+    /// — so the request is rejected eagerly instead of silently
+    /// substituting a machine-dependent thread count.
+    ZeroWorkers,
 }
 
 impl std::fmt::Display for ModelError {
@@ -110,6 +115,9 @@ impl std::fmt::Display for ModelError {
                     f,
                     "no packed {lanes}-lane execution is compiled in for this value type"
                 )
+            }
+            ModelError::ZeroWorkers => {
+                write!(f, "a parallel batch needs at least one worker thread")
             }
         }
     }

@@ -62,8 +62,18 @@ pub(crate) fn shard_of(node: usize, n: usize, threads: usize) -> usize {
 /// First item of each shard (length `threads + 1`; shard `s` owns
 /// `bounds[s]..bounds[s+1]`). Public because the same contiguous-block
 /// partition shards nodes across executor workers *and* value-sets across
-/// batch workers (`lowband-core`'s parallel batch mode).
+/// batch workers (`lowband-core`'s parallel batch mode) *and* connections
+/// across `lowband-served`'s daemon workers.
+///
+/// Degenerate shapes are well defined: `threads > n` yields `threads - n`
+/// empty trailing shards (never out-of-bounds), and `threads == 0` yields
+/// the zero-shard partition `[0]` — no shard owns anything, so a caller
+/// with `n > 0` items must reject zero workers up front (the batch
+/// executors raise [`ModelError::ZeroWorkers`]).
 pub fn shard_bounds(n: usize, threads: usize) -> Vec<usize> {
+    if threads == 0 {
+        return vec![0];
+    }
     let mut bounds = vec![n; threads + 1];
     bounds[0] = 0;
     let mut cur = 0usize;
@@ -582,6 +592,31 @@ mod tests {
     use super::*;
     use crate::algebra::Nat;
     use crate::{Machine, ScheduleBuilder, Transfer};
+
+    #[test]
+    fn shard_bounds_zero_threads_is_the_empty_partition() {
+        for n in [0usize, 1, 5, 100] {
+            assert_eq!(shard_bounds(n, 0), vec![0], "n={n}");
+        }
+    }
+
+    #[test]
+    fn shard_bounds_with_more_threads_than_nodes_has_empty_tail_shards() {
+        for (n, threads) in [(0usize, 4usize), (1, 8), (3, 7), (5, 64)] {
+            let bounds = shard_bounds(n, threads);
+            assert_eq!(bounds.len(), threads + 1);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(bounds[threads], n);
+            for s in 0..threads {
+                assert!(
+                    bounds[s] <= bounds[s + 1] && bounds[s + 1] <= n,
+                    "n={n} t={threads} shard={s} bounds={bounds:?}"
+                );
+            }
+            let owned: usize = (0..threads).map(|s| bounds[s + 1] - bounds[s]).sum();
+            assert_eq!(owned, n, "every node owned exactly once");
+        }
+    }
 
     #[test]
     fn shard_bounds_partition_the_nodes() {

@@ -557,6 +557,24 @@ mod tests {
     }
 
     #[test]
+    fn fresh_cache_hit_rate_is_zero_not_nan_in_json() {
+        // Regression (ISSUE 9 satellite): before any lookup the hit-rate
+        // is 0/0 — it must surface as `0.0`, never NaN, both from the
+        // accessor and in the serialized `cache` artifact section
+        // (`validate_results` rejects NaN, which `Json` renders as null).
+        let cache = ScheduleCache::new(4);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        let rate = stats.hit_rate();
+        assert!(!rate.is_nan() && rate == 0.0, "got {rate}");
+        let rendered = stats.to_json().to_compact();
+        assert!(
+            rendered.contains("\"hit_rate\":0.0") && !rendered.contains("null"),
+            "serialized stats must carry a numeric hit_rate: {rendered}"
+        );
+    }
+
+    #[test]
     fn quarantine_blocks_until_probe_readmits() {
         use lowband_matrix::Fp;
         let inst = us_instance(24, 3, 11);

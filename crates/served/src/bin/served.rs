@@ -1,0 +1,56 @@
+//! `served` — the lowband network serving daemon.
+//!
+//! ```text
+//! cargo run -p lowband-served --release --bin served -- \
+//!     [--addr 127.0.0.1:4815] [--workers N] [--backlog B] \
+//!     [--deadline-ms D] [--cache C]
+//! ```
+//!
+//! Binds, prints the bound address (`listening on <addr>`) on stdout —
+//! harnesses parse that line — and runs until a [`Request::Shutdown`]
+//! frame arrives on the wire, then drains in flight requests and dumps
+//! the final metrics snapshot as a postmortem artifact.
+//!
+//! [`Request::Shutdown`]: lowband_served::Request::Shutdown
+
+use lowband_served::server::{serve, ServerConfig};
+use std::time::Duration;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: arg_value("--addr").unwrap_or_else(|| "127.0.0.1:4815".to_string()),
+        ..ServerConfig::default()
+    };
+    if let Some(workers) = arg_value("--workers").and_then(|v| v.parse().ok()) {
+        config.workers = workers;
+    }
+    if let Some(backlog) = arg_value("--backlog").and_then(|v| v.parse().ok()) {
+        config.backlog = backlog;
+    }
+    if let Some(ms) = arg_value("--deadline-ms").and_then(|v| v.parse().ok()) {
+        config.supervisor.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(cache) = arg_value("--cache").and_then(|v| v.parse().ok()) {
+        config.supervisor.cache_capacity = cache;
+    }
+
+    let handle = match serve(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: could not bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+
+    let snapshot = handle.join();
+    println!("drained; final snapshot:\n{}", snapshot.to_pretty());
+}

@@ -1,0 +1,86 @@
+//! The result digest both sides of the wire agree on.
+//!
+//! A response carries a 64-bit digest of the extracted `X̂` product
+//! instead of the product itself — the daemon's correctness contract is
+//! *verifiable* without shipping values. The client recomputes the
+//! expected product locally (the supervisor's output is bit-identical
+//! across every rung, including the plan-free reference serve, so the
+//! reference product of the same seed is the one true answer) and
+//! compares digests. Any mismatch is an **incorrect response**, the
+//! quantity the serving gate requires to be zero.
+
+use lowband_faults::mix64;
+use lowband_matrix::{reference_multiply, SampleElement, Semiring, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Position-sensitive digest of a sparse product: `mix64` folded over
+/// `(row, col, value.digest())` in support order. Two products digest
+/// equal iff every entry matches in place (up to `mix64` collisions).
+pub fn product_digest<S: Semiring>(product: &SparseMatrix<S>) -> u64 {
+    let mut acc = mix64(0x6C6F_7762_616E_6421); // "lowband!"
+    for (i, j, value) in product.iter() {
+        acc = mix64(acc ^ u64::from(i));
+        acc = mix64(acc ^ u64::from(j));
+        acc = mix64(acc ^ value.digest());
+    }
+    acc
+}
+
+/// The digest the daemon must answer for a request over `inst` with
+/// value seed `seed`: reference product of the seeded value draw —
+/// exactly the supervisor's value stream ([`StdRng`] seeded with the
+/// request seed, `Â` drawn before `B̂`).
+pub fn expected_digest<S: Semiring + SampleElement>(
+    inst: &lowband_core::Instance,
+    seed: u64,
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a: SparseMatrix<S> = SparseMatrix::randomize(inst.ahat.clone(), &mut rng);
+    let b: SparseMatrix<S> = SparseMatrix::randomize(inst.bhat.clone(), &mut rng);
+    product_digest(&reference_multiply(&a, &b, &inst.xhat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowband_core::Instance;
+    use lowband_matrix::{gen, Fp, MinPlus};
+
+    fn instance(seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Instance::new(
+            gen::uniform_sparse(16, 3, &mut rng),
+            gen::uniform_sparse(16, 3, &mut rng),
+            gen::uniform_sparse(16, 3, &mut rng),
+        )
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_seed_sensitive() {
+        let inst = instance(0xD1);
+        assert_eq!(
+            expected_digest::<Fp>(&inst, 7),
+            expected_digest::<Fp>(&inst, 7)
+        );
+        assert_ne!(
+            expected_digest::<Fp>(&inst, 7),
+            expected_digest::<Fp>(&inst, 8),
+            "different value draws must digest differently"
+        );
+        assert_ne!(
+            expected_digest::<Fp>(&inst, 7),
+            expected_digest::<MinPlus>(&inst, 7),
+            "different algebras must digest differently"
+        );
+    }
+
+    #[test]
+    fn digest_is_position_sensitive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let support = gen::uniform_sparse(8, 2, &mut rng);
+        let m: SparseMatrix<Fp> = SparseMatrix::randomize(support.clone(), &mut rng);
+        let zero: SparseMatrix<Fp> = SparseMatrix::zeros(support);
+        assert_ne!(product_digest(&m), product_digest(&zero));
+    }
+}

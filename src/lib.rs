@@ -36,7 +36,12 @@
 //!   execution ([`serve::run_batch`]) that compiles once and executes
 //!   many — sequentially, thread-fanned, or through packed SIMD-style
 //!   value planes ([`core::BatchMode::Packed`]) that advance up to 64
-//!   batch members per schedule decode.
+//!   batch members per schedule decode;
+//! * [`served`] — the network daemon over [`serve`]: a dependency-free
+//!   TCP server speaking a length-prefixed binary protocol, with
+//!   thread-per-core workers, bounded admission queues, supervised
+//!   execution around every request, and graceful drain on shutdown
+//!   (DESIGN.md §15).
 //!
 //! ## Quick start
 //!
@@ -66,3 +71,4 @@ pub use lowband_matrix as matrix;
 pub use lowband_model as model;
 pub use lowband_routing as routing;
 pub use lowband_serve as serve;
+pub use lowband_served as served;

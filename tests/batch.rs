@@ -73,7 +73,9 @@ fn batch_matches_independent_runs_across_modes_and_compression() {
         for mode in [
             BatchMode::Sequential,
             BatchMode::Parallel { threads: 2 },
-            BatchMode::Parallel { threads: 0 },
+            // More workers than seeds: surplus shards are empty, and the
+            // batch stays observationally identical.
+            BatchMode::Parallel { threads: 16 },
         ] {
             let batch = run_algorithm_batch_traced::<Fp, _>(
                 &inst,
@@ -409,4 +411,76 @@ fn random_instances_batch_equals_solo() {
             );
         }
     }
+}
+
+#[test]
+fn more_workers_than_seeds_yields_empty_shards_not_panics() {
+    // Satellite regression (ISSUE 9): K < threads must run cleanly — the
+    // surplus workers get empty seed shares, never out-of-bounds slices.
+    let inst = us_instance(16, 2, 120);
+    for k in [1usize, 2, 3] {
+        let seeds: Vec<u64> = (0..k as u64).map(|s| 900 + s).collect();
+        let solo: Vec<RunReport> = seeds
+            .iter()
+            .map(|&s| run_algorithm::<Fp>(&inst, Algorithm::BoundedTriangles, s).expect("solo"))
+            .collect();
+        for threads in [k + 1, 2 * k + 3, 64] {
+            let batch = run_algorithm_batch::<Fp>(
+                &inst,
+                Algorithm::BoundedTriangles,
+                &seeds,
+                BatchMode::Parallel { threads },
+            )
+            .expect("oversubscribed batch");
+            assert_eq!(batch.len(), k, "k={k} threads={threads}");
+            for (s, b) in solo.iter().zip(&batch) {
+                assert_eq!(deterministic_fields(s), deterministic_fields(b));
+            }
+        }
+    }
+    // The shard partition itself: more shards than items ⇒ empty tails.
+    let bounds = lowband::model::parallel::shard_bounds(2, 5);
+    assert_eq!(bounds[0], 0);
+    assert_eq!(bounds[5], 2);
+    let owned: usize = (0..5).map(|s| bounds[s + 1] - bounds[s]).sum();
+    assert_eq!(owned, 2);
+}
+
+#[test]
+fn zero_worker_batches_are_rejected_with_a_typed_error() {
+    // Satellite regression (ISSUE 9): `Parallel { threads: 0 }` must be a
+    // typed configuration error on both batch paths, not a divide-by-zero
+    // or a silent machine-dependent substitution.
+    use lowband::model::ModelError;
+    let inst = us_instance(16, 2, 121);
+    let seeds = [1u64, 2, 3];
+    assert_eq!(
+        run_algorithm_batch::<Fp>(
+            &inst,
+            Algorithm::BoundedTriangles,
+            &seeds,
+            BatchMode::Parallel { threads: 0 },
+        ),
+        Err(ModelError::ZeroWorkers)
+    );
+    // Elementwise path: the rejection is request-level (outer Err), not a
+    // vector of poisoned members.
+    let mut cache = ScheduleCache::new(2);
+    let elementwise = lowband::serve::run_batch_elementwise::<Fp>(
+        &mut cache,
+        &inst,
+        Algorithm::BoundedTriangles,
+        &seeds,
+        false,
+        BatchMode::Parallel { threads: 0 },
+    );
+    assert!(
+        matches!(
+            elementwise,
+            Err(lowband::serve::ServeError::Model(ModelError::ZeroWorkers))
+        ),
+        "got {elementwise:?}"
+    );
+    // And `shard_bounds(n, 0)` itself is the zero-shard partition.
+    assert_eq!(lowband::model::parallel::shard_bounds(7, 0), vec![0]);
 }

@@ -693,3 +693,78 @@ fn cadence_beyond_round_count_keeps_only_the_initial_checkpoint() {
         "rollback to round 0 replays the whole prefix"
     );
 }
+
+/// Backoff arithmetic at the extremes (ISSUE 9 satellite): with `cap`
+/// near `u64::MAX` nanoseconds the decorrelated-jitter step must saturate
+/// — never wrap into a tiny delay, truncate the `u128` nanosecond count,
+/// or panic on an empty sample range — and the accumulated totals must
+/// keep charging the virtual [`Deadline`] without overflow panics.
+#[test]
+fn backoff_saturates_at_extreme_caps() {
+    use lowband::core::Backoff;
+    use std::time::Duration;
+
+    let huge_cap = Duration::from_nanos(u64::MAX);
+    // Base equal to the cap: sample range collapses to a point, delays
+    // pin at the cap, and multiplying `prev` by 3 must saturate.
+    let mut pinned = Backoff::new(1, huge_cap, huge_cap);
+    let mut deadline = Deadline::within(Duration::from_secs(60));
+    for _ in 0..4 {
+        let d = pinned.pause(&mut deadline);
+        assert_eq!(d, huge_cap, "base == cap pins every delay at the cap");
+    }
+    assert_eq!(pinned.delays, 4);
+    assert!(deadline.expired(), "virtual charges still consume budget");
+
+    // Small base, huge cap: prev grows ×3 per step and must clamp to the
+    // cap instead of wrapping once prev × 3 exceeds u64::MAX nanos.
+    let mut growing = Backoff::new(2, Duration::from_nanos(1), huge_cap);
+    let mut last = Duration::ZERO;
+    for _ in 0..80 {
+        let d = growing.next_delay();
+        assert!(
+            d >= Duration::from_nanos(1) && d <= huge_cap,
+            "delay {d:?} escaped [base, cap]"
+        );
+        last = d;
+    }
+    assert!(
+        last > Duration::from_micros(100),
+        "decorrelated growth must still make upward progress, got {last:?}"
+    );
+
+    // Base above the cap: the delay clamps down to the cap.
+    let mut inverted = Backoff::new(3, huge_cap, Duration::from_millis(5));
+    for _ in 0..3 {
+        assert_eq!(inverted.next_delay(), Duration::from_millis(5));
+    }
+
+    // Durations beyond u64::MAX nanoseconds (u128 territory) saturate
+    // instead of truncating to a near-zero delay.
+    let beyond = Duration::from_secs(u64::MAX);
+    let mut overflowing = Backoff::new(4, beyond, beyond);
+    let d = overflowing.next_delay();
+    assert_eq!(d, Duration::from_nanos(u64::MAX), "u128 nanos saturate");
+}
+
+/// Extreme virtual delays charge the deadline monotonically: repeated
+/// `advance` calls past `Duration::MAX` saturate rather than panic, and
+/// the deadline stays expired.
+#[test]
+fn deadline_virtual_clock_saturates_under_extreme_charges() {
+    use lowband::core::Backoff;
+    use std::time::Duration;
+
+    let huge = Duration::from_nanos(u64::MAX);
+    let mut deadline = Deadline::within(Duration::from_secs(1));
+    let mut backoff = Backoff::new(7, huge, huge);
+    for _ in 0..3 {
+        backoff.pause(&mut deadline);
+    }
+    assert!(deadline.expired());
+    assert_eq!(deadline.remaining(), Some(Duration::ZERO));
+    // Direct virtual charges at Duration::MAX stack without panicking.
+    deadline.advance(Duration::MAX);
+    deadline.advance(Duration::MAX);
+    assert!(deadline.expired());
+}

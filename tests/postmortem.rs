@@ -4,16 +4,22 @@
 //! the abort reason and the metrics snapshot.
 //!
 //! Kept as its own test binary: it mutates `LOWBAND_RESULTS_DIR`, which
-//! is process-global.
+//! is process-global — and the tests below serialize on [`ENV_LOCK`] so
+//! they never see each other's override.
 
 use lowband::core::{run_resilient_recorded, Algorithm, Instance, RetryPolicy};
 use lowband::matrix::{gen, Fp};
-use lowband::model::trace::{json, FlightRecorder, MetricsRegistry};
+use lowband::model::trace::{json, FlightRecorder, MetricsRegistry, Tracer};
 use lowband::model::FaultSpec;
 use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes access to the process-global `LOWBAND_RESULTS_DIR`.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 #[test]
 fn aborted_run_dumps_a_parseable_postmortem() {
+    let _guard = ENV_LOCK.lock().unwrap();
     let dir = std::env::temp_dir().join(format!("lowband-postmortem-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     std::env::set_var("LOWBAND_RESULTS_DIR", &dir);
@@ -79,6 +85,84 @@ fn aborted_run_dumps_a_parseable_postmortem() {
         .is_some_and(|r| !r.is_empty()));
     // The caller-supplied metrics snapshot rode along.
     assert!(other.get("metrics").is_some());
+
+    std::env::remove_var("LOWBAND_RESULTS_DIR");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Concurrent aborts must never collide on a dump filename (ISSUE 9
+/// satellite): the sequence counter is one process-wide atomic shared by
+/// every recorder, and the dump directory is created race-safely even
+/// when many workers abort at once into a directory that does not exist
+/// yet.
+#[test]
+fn concurrent_aborts_dump_to_distinct_files() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!(
+        "lowband-postmortem-concurrent-{}",
+        std::process::id()
+    ));
+    // Deliberately do NOT pre-create the directory: the racing dumpers
+    // must create `<dir>/postmortem` themselves without tripping over
+    // each other.
+    std::fs::remove_dir_all(&dir).ok();
+    std::env::set_var("LOWBAND_RESULTS_DIR", &dir);
+
+    const WORKERS: usize = 8;
+    const DUMPS_PER_WORKER: usize = 4;
+    let paths: Vec<std::path::PathBuf> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(DUMPS_PER_WORKER);
+                    for i in 0..DUMPS_PER_WORKER {
+                        // Each worker has its own recorder — the only
+                        // shared state is the process-wide counter.
+                        let mut recorder = FlightRecorder::new(16);
+                        recorder.span_enter("abort");
+                        recorder.span_exit("abort");
+                        let extra = json::Json::obj()
+                            .set("worker", w as u64)
+                            .set("iteration", i as u64);
+                        let path = recorder
+                            .dump_postmortem("worker-abort", "simulated abort", extra)
+                            .expect("dump must succeed under contention");
+                        out.push(path);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("dump worker"))
+            .collect()
+    });
+
+    // Every dump landed at a distinct path, under the shared postmortem
+    // dir, with the label prefix; all of them parse.
+    assert_eq!(paths.len(), WORKERS * DUMPS_PER_WORKER);
+    let unique: std::collections::HashSet<_> = paths.iter().collect();
+    assert_eq!(
+        unique.len(),
+        paths.len(),
+        "filename collision under concurrent aborts: {paths:?}"
+    );
+    for path in &paths {
+        assert!(path.starts_with(dir.join("postmortem")));
+        assert!(path
+            .file_name()
+            .and_then(|f| f.to_str())
+            .is_some_and(|f| f.starts_with("worker-abort-") && f.ends_with(".trace.json")));
+        let text = std::fs::read_to_string(path).expect("dump file exists");
+        let doc = json::parse(&text).expect("dump is valid JSON");
+        assert!(doc.get("traceEvents").is_some());
+        assert!(doc
+            .get("otherData")
+            .and_then(|o| o.get("reason"))
+            .and_then(|r| r.as_str())
+            .is_some_and(|r| r == "simulated abort"));
+    }
 
     std::env::remove_var("LOWBAND_RESULTS_DIR");
     std::fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,366 @@
+//! The network serving daemon (DESIGN.md §15): loopback protocol
+//! round-trips, digest parity with direct supervised execution,
+//! concurrent mixed-structure clients, typed refusals over the wire
+//! (breaker-open, zero-worker batch modes, admission overload), and
+//! graceful drain on shutdown.
+
+use std::sync::Once;
+
+use lowband::core::{Algorithm, BatchMode, Instance, Rung};
+use lowband::matrix::{gen, Fp};
+use lowband::model::NoopTracer;
+use lowband::serve::{Supervisor, SupervisorConfig};
+use lowband::served::server::{serve, ServerConfig};
+use lowband::served::{
+    expected_digest, product_digest, Client, ExecuteRequest, Request, Response, WireSemiring,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Keep the daemons' shutdown postmortem dumps out of the checked-in
+/// `results/` directory. `Once` so parallel tests never race `set_var`.
+fn isolate_results_dir() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let dir = std::env::temp_dir().join("lowband-served-tests");
+        std::env::set_var("LOWBAND_RESULTS_DIR", dir);
+    });
+}
+
+fn us_instance(n: usize, d: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Instance::new(
+        gen::uniform_sparse(n, d, &mut rng),
+        gen::uniform_sparse(n, d, &mut rng),
+        gen::uniform_sparse(n, d, &mut rng),
+    )
+}
+
+fn small_daemon() -> lowband::served::ServerHandle {
+    isolate_results_dir();
+    serve(ServerConfig {
+        workers: 2,
+        backlog: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback daemon")
+}
+
+/// One clean execute round-trip; the digest must equal both the locally
+/// recomputed reference digest and the digest of a *direct* supervised
+/// execution of the same request — the wire adds transport, not
+/// arithmetic.
+#[test]
+fn loopback_digest_matches_direct_supervised_execution() {
+    let handle = small_daemon();
+    let inst = us_instance(24, 3, 0x11);
+    let seed = 42u64;
+    let algorithm = Algorithm::BoundedTriangles;
+
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let request = Request::Execute(Box::new(ExecuteRequest::clean(
+        &inst, algorithm, false, seed,
+    )));
+    let response = client
+        .roundtrip(&request)
+        .expect("roundtrip")
+        .expect("daemon must answer");
+    let (digest, rung) = match response {
+        Response::Ok { digest, rung, .. } => (digest, rung),
+        other => panic!("expected Ok, got {other:?}"),
+    };
+    assert_ne!(
+        rung,
+        Rung::Reference,
+        "a clean request must be served distributed"
+    );
+
+    // Local reference recomputation (what loadgen verifies against).
+    assert_eq!(digest, expected_digest::<Fp>(&inst, seed));
+
+    // Direct in-process supervised execution of the identical request.
+    let mut sup = Supervisor::new(SupervisorConfig {
+        start_rung: Rung::Linked,
+        ..SupervisorConfig::default()
+    });
+    let mut out = lowband::matrix::SparseMatrix::<Fp>::zeros(inst.xhat.clone());
+    let outcome = sup.run_supervised_traced::<Fp, _>(
+        &inst,
+        algorithm,
+        seed,
+        false,
+        &lowband::faults::FaultSpec::none(0),
+        Some(&mut out),
+        &mut NoopTracer,
+    );
+    outcome.result.expect("direct execution succeeds");
+    assert_eq!(
+        digest,
+        product_digest(&out),
+        "wire digest must be bit-identical to direct supervised execution"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Concurrent clients over distinct structures and semirings: every
+/// response must verify against its own expected digest — the shared
+/// supervisor must not cross request state between connections.
+#[test]
+fn concurrent_mixed_structure_requests_all_verify() {
+    let handle = small_daemon();
+    let addr = handle.addr().to_string();
+    let algorithm = Algorithm::BoundedTriangles;
+    let structures: Vec<Instance> = (0..4).map(|k| us_instance(20, 3, 0x222 + k)).collect();
+
+    std::thread::scope(|scope| {
+        for (t, inst) in structures.iter().enumerate() {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for round in 0..6u64 {
+                    let seed = (t as u64) << 8 | round;
+                    let mut req = ExecuteRequest::clean(inst, algorithm, false, seed);
+                    // Odd rounds run over the tropical semiring to mix
+                    // algebras across the shared cache.
+                    let expected = if round % 2 == 1 {
+                        req.semiring = WireSemiring::MinPlus;
+                        expected_digest::<lowband::matrix::MinPlus>(inst, seed)
+                    } else {
+                        expected_digest::<Fp>(inst, seed)
+                    };
+                    let response = client
+                        .roundtrip(&Request::Execute(Box::new(req)))
+                        .expect("roundtrip")
+                        .expect("daemon must answer");
+                    match response {
+                        Response::Ok { digest, .. } => assert_eq!(
+                            digest, expected,
+                            "thread {t} round {round}: digest mismatch"
+                        ),
+                        other => panic!("thread {t} round {round}: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    handle.shutdown();
+    let snapshot = handle.join();
+    let ok = snapshot
+        .get("counters")
+        .and_then(|c| c.get("ok"))
+        .and_then(|v| v.as_u64())
+        .expect("snapshot carries ok count");
+    assert_eq!(ok, 24, "4 threads x 6 requests, all served");
+}
+
+/// A total fault storm walks requests down to the reference rung; after
+/// `breaker_threshold` consecutive distributed failures the structure's
+/// breaker opens and the refusal crosses the wire typed.
+#[test]
+fn breaker_open_refusals_cross_the_wire() {
+    isolate_results_dir();
+    let handle = serve(ServerConfig {
+        workers: 1,
+        backlog: 4,
+        supervisor: SupervisorConfig {
+            start_rung: Rung::Linked,
+            breaker_threshold: 2,
+            breaker_cooldown: 8,
+            quarantine_threshold: u32::MAX,
+            ..SupervisorConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let inst = us_instance(20, 3, 0x333);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let storm = |seed: u64| {
+        let mut req = ExecuteRequest::clean(&inst, Algorithm::BoundedTriangles, false, seed);
+        req.drop_rate = 1.0;
+        req.corrupt_rate = 1.0;
+        req.crash_rate = 1.0;
+        Request::Execute(Box::new(req))
+    };
+
+    // Two storms: both served (bottom rung), both striking the breaker.
+    for seed in 0..2u64 {
+        match client.roundtrip(&storm(seed)).unwrap().unwrap() {
+            Response::Ok { rung, digest, .. } => {
+                assert_eq!(rung, Rung::Reference, "storms must bottom the ladder");
+                assert_eq!(digest, expected_digest::<Fp>(&inst, seed));
+            }
+            other => panic!("storm {seed} got {other:?}"),
+        }
+    }
+    // The third request is refused while the breaker cools down.
+    match client.roundtrip(&storm(2)).unwrap().unwrap() {
+        Response::BreakerOpen { cooldown_left } => assert!(cooldown_left > 0),
+        other => panic!("expected BreakerOpen, got {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// The zero-worker batch mode (`ModelError::ZeroWorkers` in-process) is
+/// refused before execution with a typed `BadRequest` frame, and the
+/// connection survives to serve a corrected request.
+#[test]
+fn zero_worker_mode_is_a_bad_request_over_the_wire() {
+    let handle = small_daemon();
+    let inst = us_instance(16, 2, 0x444);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let mut req = ExecuteRequest::clean(&inst, Algorithm::BoundedTriangles, false, 5);
+    req.mode = BatchMode::Parallel { threads: 0 };
+    match client
+        .roundtrip(&Request::Execute(Box::new(req)))
+        .unwrap()
+        .unwrap()
+    {
+        Response::BadRequest { detail } => assert!(
+            detail.contains("worker"),
+            "refusal must name the zero-worker shape: {detail}"
+        ),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    // Same connection, corrected mode: served normally.
+    let ok = ExecuteRequest::clean(&inst, Algorithm::BoundedTriangles, false, 5);
+    match client
+        .roundtrip(&Request::Execute(Box::new(ok)))
+        .unwrap()
+        .unwrap()
+    {
+        Response::Ok { digest, .. } => assert_eq!(digest, expected_digest::<Fp>(&inst, 5)),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// With one worker pinned on a live connection and a backlog of one, the
+/// third connection must be refused with a typed `Overloaded` frame —
+/// backpressure is explicit, not a hang.
+#[test]
+fn admission_overload_is_a_typed_refusal() {
+    isolate_results_dir();
+    let handle = serve(ServerConfig {
+        workers: 1,
+        backlog: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+    let inst = us_instance(16, 2, 0x555);
+
+    // A round-trip guarantees the worker owns this connection.
+    let mut held = Client::connect(&addr).expect("connect");
+    match held
+        .roundtrip(&Request::Execute(Box::new(ExecuteRequest::clean(
+            &inst,
+            Algorithm::BoundedTriangles,
+            false,
+            1,
+        ))))
+        .unwrap()
+        .unwrap()
+    {
+        Response::Ok { .. } => {}
+        other => panic!("warmup got {other:?}"),
+    }
+
+    // Fills the single backlog slot (never served while `held` lives).
+    let _queued = std::net::TcpStream::connect(&addr).expect("queued connection");
+    // Give the accept loop time to enqueue it before the next connect.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // Everything is full: the next connection is refused.
+    let mut refused = std::net::TcpStream::connect(&addr).expect("tcp connect still succeeds");
+    refused
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let payload = lowband::served::wire::read_frame(&mut refused)
+        .expect("read refusal frame")
+        .expect("daemon must answer before closing");
+    match Response::decode(&payload).expect("decodes") {
+        Response::Overloaded { backlog } => assert_eq!(backlog, 1),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Graceful drain: shutdown is acknowledged with a snapshot, later
+/// execute requests are answered `ShuttingDown` (typed, not a hang or a
+/// dropped connection), and `join` returns a consistent final snapshot.
+#[test]
+fn shutdown_drains_cleanly_and_snapshots() {
+    let handle = small_daemon();
+    let addr = handle.addr().to_string();
+    let inst = us_instance(16, 2, 0x666);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    for seed in 0..3u64 {
+        match client
+            .roundtrip(&Request::Execute(Box::new(ExecuteRequest::clean(
+                &inst,
+                Algorithm::BoundedTriangles,
+                false,
+                seed,
+            ))))
+            .unwrap()
+            .unwrap()
+        {
+            Response::Ok { digest, .. } => assert_eq!(digest, expected_digest::<Fp>(&inst, seed)),
+            other => panic!("pre-shutdown request got {other:?}"),
+        }
+    }
+
+    match client.roundtrip(&Request::Shutdown).unwrap().unwrap() {
+        Response::ShutdownAck { json } => {
+            let doc = lowband::model::trace::json::parse(&json).expect("snapshot parses");
+            assert!(doc.get("cache").is_some(), "snapshot carries cache stats");
+        }
+        other => panic!("expected ShutdownAck, got {other:?}"),
+    }
+    assert!(handle.is_shutting_down());
+
+    // The same (already-admitted) connection gets typed drain refusals.
+    match client
+        .roundtrip(&Request::Execute(Box::new(ExecuteRequest::clean(
+            &inst,
+            Algorithm::BoundedTriangles,
+            false,
+            9,
+        ))))
+        .unwrap()
+        .unwrap()
+    {
+        Response::ShuttingDown => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    drop(client);
+
+    let snapshot = handle.join();
+    let counters = snapshot.get("counters").expect("counters in snapshot");
+    assert_eq!(
+        counters.get("ok").and_then(|v| v.as_u64()),
+        Some(3),
+        "exactly the three pre-shutdown requests served"
+    );
+    assert!(
+        counters
+            .get("shutting_down")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+            >= 1,
+        "drain refusals are accounted"
+    );
+}
