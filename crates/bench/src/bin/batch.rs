@@ -27,10 +27,11 @@ use lowband_bench::report::{
 };
 use lowband_bench::{block_workload, TablePrinter};
 use lowband_core::budget::entries_for_report;
-use lowband_core::{run_algorithm, Algorithm, BatchElement, BatchMode, Instance};
+use lowband_core::densemm::DenseEngine;
+use lowband_core::{compile_plan, run_algorithm, Algorithm, BatchElement, BatchMode, Instance};
 use lowband_matrix::{Fp, Gf2};
 use lowband_model::trace::MetricsRegistry;
-use lowband_serve::{run_batch, run_batch_traced, ScheduleCache};
+use lowband_serve::{run_batch, run_batch_traced, PlanStore, ScheduleCache, StructureKey};
 
 /// Median wall-clock of `iters` calls to `f`, in nanoseconds.
 fn median_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -141,6 +142,7 @@ fn main() {
 
     parallel_fanout(&mut artifact, &inst, algorithm, iters);
     packed_lanes(&mut artifact, &inst, algorithm, iters);
+    plan_store_triple(&mut artifact);
 
     // One traced warm batch (outside the timing loops) populates the
     // per-request latency histogram and pins the executed rounds/messages
@@ -180,6 +182,109 @@ fn main() {
     assert_eq!(s.misses, 1, "one structure must compile exactly once");
 
     artifact.finish();
+}
+
+/// The plan-store tier ladder at n = 1024: what a disk hit costs relative
+/// to the cold compile it replaces and the memory hit it feeds.
+///
+/// * **cold** — full `compile_plan` (triangle enumeration, schedule
+///   compilation, linking) from the instance;
+/// * **disk** — `PlanStore::load`: read, checksum, decode and run the
+///   full admission gate (`lint_linked`) on the published binser file;
+/// * **warm** — a primed `ScheduleCache` memory hit.
+///
+/// Gated: cold ≥ disk ≥ warm and disk ≤ 0.3 × cold — the restart story
+/// only holds if admission-gated loads are much cheaper than the
+/// compiles they replace.
+fn plan_store_triple(artifact: &mut JsonReport) {
+    println!("\n# batch — plan store tiers at n = 1024: cold compile vs disk load vs memory hit\n");
+    // The Table 1 extremal block workload at n = 1024 (64 dense 16×16
+    // clusters, 256K triangles) under the Theorem 4.2 two-phase
+    // algorithm — the regime the persistent tier exists for: the compile
+    // pays triangle enumeration, cluster extraction and the compression
+    // re-schedule, while the disk hit pays a linear decode + admission
+    // lint of the finished plan.
+    let inst = block_workload(64, 16);
+    let algorithm = Algorithm::TwoPhase {
+        d: 16,
+        engine: DenseEngine::Cube3d,
+    };
+    let compress = true;
+    let key = StructureKey::of(&inst, algorithm, compress);
+    let iters = 3usize;
+
+    let (cold_ns, plan) = median_ns(iters, || {
+        compile_plan(&inst, algorithm, compress).expect("cold compile")
+    });
+
+    let root = std::env::temp_dir().join(format!("lowband-batch-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = PlanStore::open(&root).expect("open plan store");
+    let file_bytes = store.save(key, &plan).expect("publish plan");
+    let (disk_ns, loaded) = median_ns(iters, || {
+        store
+            .load(key)
+            .expect("gate passes")
+            .expect("published plan loads")
+    });
+    assert_eq!(
+        loaded.schedule, plan.schedule,
+        "disk tier must return the published plan"
+    );
+
+    let mut cache = ScheduleCache::with_store(4, store);
+    cache
+        .get_or_compile(&inst, algorithm, compress)
+        .expect("prime from disk");
+    let (warm_ns, _) = median_ns(iters, || {
+        cache
+            .get_or_compile(&inst, algorithm, compress)
+            .expect("memory hit")
+    });
+    let s = cache.stats();
+    assert_eq!(
+        (s.compiles, s.disk_hits),
+        (0, 1),
+        "priming must come from the disk tier, not a compile: {s:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+
+    let disk_over_cold = disk_ns / cold_ns;
+    let warm_over_cold = warm_ns / cold_ns;
+    let t = TablePrinter::new(&["tier", "ns", "vs cold"], &[6, 14, 9]);
+    for (tier, ns) in [("cold", cold_ns), ("disk", disk_ns), ("warm", warm_ns)] {
+        t.row(&[
+            tier.to_string(),
+            format!("{ns:.0}"),
+            format!("{:.4}", ns / cold_ns),
+        ]);
+    }
+    println!(
+        "\na disk hit (read + checksum + decode + lint) costs {:.1}% of the cold\n\
+         compile it replaces ({} bytes on disk); a memory hit costs {:.2}%.",
+        disk_over_cold * 100.0,
+        file_bytes,
+        warm_over_cold * 100.0
+    );
+    artifact.section(
+        "plan_store",
+        Json::obj()
+            .set("n", 1024u64)
+            .set("cold_ns", cold_ns)
+            .set("disk_ns", disk_ns)
+            .set("warm_ns", warm_ns)
+            .set("disk_over_cold", disk_over_cold)
+            .set("warm_over_cold", warm_over_cold)
+            .set("file_bytes", file_bytes),
+    );
+    assert!(
+        cold_ns >= disk_ns && disk_ns >= warm_ns,
+        "tier ordering must be cold >= disk >= warm: {cold_ns:.0} / {disk_ns:.0} / {warm_ns:.0}"
+    );
+    assert!(
+        disk_over_cold <= 0.3,
+        "disk load must be <= 0.3x cold compile at n = 1024, got {disk_over_cold:.3}"
+    );
 }
 
 /// The same K = 64 batch fanned across worker threads — each worker owns a

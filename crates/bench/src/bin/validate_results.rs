@@ -28,7 +28,10 @@ const KNOWN: &[(&str, &[&str])] = &[
         "recovery",
         &["checkpoint_overhead", "recovery_cost", "fault_kinds"],
     ),
-    ("batch", &["amortized", "cache", "parallel", "packed"]),
+    (
+        "batch",
+        &["amortized", "cache", "parallel", "packed", "plan_store"],
+    ),
     ("baseline", &["probes", "meta"]),
     (
         "chaos",
@@ -58,6 +61,41 @@ fn validate_batch_cache(doc: &lowband_bench::report::Json) -> Result<(), String>
         .ok_or("cache: missing \"hit_rate\" number")?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(format!("cache: hit_rate {rate} outside [0, 1]"));
+    }
+    Ok(())
+}
+
+/// Batch-specific deep check for the plan-store triple (DESIGN.md §16):
+/// the tiers must be ordered cold ≥ disk ≥ warm, and a disk load
+/// (read + checksum + decode + admission lint) must cost at most 0.3× the
+/// cold compile it replaces — otherwise the persistent tier is not
+/// pulling its weight.
+fn validate_batch_plan_store(doc: &lowband_bench::report::Json) -> Result<(), String> {
+    let section = doc
+        .get("sections")
+        .and_then(|s| s.get("plan_store"))
+        .ok_or("plan_store: missing section")?;
+    let num = |field: &str| -> Result<f64, String> {
+        section
+            .get(field)
+            .and_then(|v| v.as_f64())
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or(format!("plan_store: missing or invalid \"{field}\""))
+    };
+    let (cold, disk, warm) = (num("cold_ns")?, num("disk_ns")?, num("warm_ns")?);
+    if !(cold >= disk && disk >= warm) {
+        return Err(format!(
+            "plan_store: tiers out of order — cold {cold:.0} / disk {disk:.0} / warm {warm:.0}"
+        ));
+    }
+    let ratio = num("disk_over_cold")?;
+    if ratio > 0.3 {
+        return Err(format!(
+            "plan_store: disk_over_cold {ratio:.3} above the 0.3 gate"
+        ));
+    }
+    if num("file_bytes")? <= 0.0 {
+        return Err("plan_store: file_bytes must be positive".to_string());
     }
     Ok(())
 }
@@ -150,6 +188,7 @@ fn main() {
             validate_observability(&doc)?;
             if stem == "batch" {
                 validate_batch_cache(&doc)?;
+                validate_batch_plan_store(&doc)?;
             }
             if stem == "chaos" {
                 validate_chaos(&doc)?;

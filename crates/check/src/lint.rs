@@ -353,6 +353,25 @@ fn check_slot_key(
     }
 }
 
+/// Pop the next not-yet-claimed source index bucketed under `key`. The
+/// per-bucket cursor only moves forward, so across a whole round every
+/// index is inspected O(1) times.
+fn take_unclaimed<K: std::hash::Hash + Eq>(
+    map: &mut HashMap<K, (Vec<usize>, usize)>,
+    key: &K,
+    claimed: &[bool],
+) -> Option<usize> {
+    let (indices, cursor) = map.get_mut(key)?;
+    while *cursor < indices.len() {
+        let i = indices[*cursor];
+        *cursor += 1;
+        if !claimed[i] {
+            return Some(i);
+        }
+    }
+    None
+}
+
 fn lint_linked_round(
     report: &mut CheckReport,
     linked: &LinkedSchedule,
@@ -375,22 +394,52 @@ fn lint_linked_round(
     }
     // Linking stable-sorts a round's transfers by destination node; match
     // each linked transfer to a not-yet-claimed source transfer with the
-    // same endpoints rather than assuming an order.
+    // same endpoints rather than assuming an order. Indexing the source
+    // round up front keeps the match linear — a per-transfer rescan is
+    // quadratic in the round's fan-in, which dominates lint time on dense
+    // block workloads.
+    type Signature = (u32, u32, u8, Option<u32>, Option<u32>);
+    let merge_tag = |m: Merge| -> u8 {
+        match m {
+            Merge::Overwrite => 0,
+            Merge::Add => 1,
+        }
+    };
+    // Source indices (in round order) by full linked signature, and by
+    // endpoints alone for the fallback; cursors skip already-claimed
+    // entries so each index is visited O(1) times overall.
+    let mut by_signature: HashMap<Signature, (Vec<usize>, usize)> = HashMap::new();
+    let mut by_endpoints: HashMap<(u32, u32), (Vec<usize>, usize)> = HashMap::new();
+    for (i, s) in src_round.iter().enumerate() {
+        let sig = (
+            s.src.0,
+            s.dst.0,
+            merge_tag(s.merge),
+            linked.slot_of(s.src, s.src_key),
+            linked.slot_of(s.dst, s.dst_key),
+        );
+        by_signature.entry(sig).or_default().0.push(i);
+        by_endpoints
+            .entry((s.src.0, s.dst.0))
+            .or_default()
+            .0
+            .push(i);
+    }
     let mut claimed = vec![false; src_round.len()];
     for t in transfers {
         check_slot(report, linked, step, t.src, t.src_slot);
         check_slot(report, linked, step, t.dst, t.dst_slot);
-        let matched = src_round.iter().enumerate().find(|(i, s)| {
-            !claimed[*i]
-                && s.src.0 == t.src
-                && s.dst.0 == t.dst
-                && s.merge == t.merge
-                && linked.slot_of(s.src, s.src_key) == Some(t.src_slot)
-                && linked.slot_of(s.dst, s.dst_key) == Some(t.dst_slot)
-        });
-        match matched {
-            Some((i, s)) => {
+        let sig = (
+            t.src,
+            t.dst,
+            merge_tag(t.merge),
+            Some(t.src_slot),
+            Some(t.dst_slot),
+        );
+        match take_unclaimed(&mut by_signature, &sig, &claimed) {
+            Some(i) => {
                 claimed[i] = true;
+                let s = &src_round[i];
                 check_slot_key(report, linked, step, t.src, t.src_slot, s.src_key);
                 check_slot_key(report, linked, step, t.dst, t.dst_slot, s.dst_key);
             }
@@ -398,20 +447,18 @@ fn lint_linked_round(
                 // No source transfer interns to this linked one: report it
                 // against whichever key an unclaimed same-endpoint source
                 // names, or fall back to the slot's own interning.
-                let fallback = src_round
-                    .iter()
-                    .enumerate()
-                    .find(|(i, s)| !claimed[*i] && s.src.0 == t.src && s.dst.0 == t.dst);
-                if let Some((i, s)) = fallback {
-                    claimed[i] = true;
-                    check_slot_key(report, linked, step, t.src, t.src_slot, s.src_key);
-                    check_slot_key(report, linked, step, t.dst, t.dst_slot, s.dst_key);
-                } else {
-                    report.push(CheckError::TransferCountMismatch {
+                match take_unclaimed(&mut by_endpoints, &(t.src, t.dst), &claimed) {
+                    Some(i) => {
+                        claimed[i] = true;
+                        let s = &src_round[i];
+                        check_slot_key(report, linked, step, t.src, t.src_slot, s.src_key);
+                        check_slot_key(report, linked, step, t.dst, t.dst_slot, s.dst_key);
+                    }
+                    None => report.push(CheckError::TransferCountMismatch {
                         step,
                         schedule_count: src_round.len(),
                         linked_count: transfers.len(),
-                    });
+                    }),
                 }
             }
         }
@@ -557,12 +604,18 @@ pub fn lint_linked(schedule: &Schedule, linked: &LinkedSchedule) -> CheckReport 
                     continue;
                 }
                 // Linking stable-sorts a block's ops by node; recover the
-                // pairing by matching each node's ops in order.
+                // pairing by matching each node's ops in order. Group the
+                // source ops by node once — an `iter().filter().nth()`
+                // rescan per linked op is quadratic in the step's op count.
+                let mut by_node: HashMap<u32, Vec<&LocalOp>> = HashMap::new();
+                for s in src_ops {
+                    by_node.entry(s.node().0).or_default().push(s);
+                }
                 let mut next: HashMap<u32, usize> = HashMap::new();
                 for op in ops {
                     let node = op.node();
                     let cursor = next.entry(node).or_default();
-                    let src = src_ops.iter().filter(|s| s.node().0 == node).nth(*cursor);
+                    let src = by_node.get(&node).and_then(|v| v.get(*cursor)).copied();
                     *cursor += 1;
                     match src {
                         Some(src) => lint_linked_op(&mut report, linked, i, src, op),

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod algebra;
+pub mod binser;
 pub mod compress;
 pub mod error;
 pub mod key;
@@ -64,6 +65,7 @@ pub mod serial;
 pub mod stats;
 
 pub use algebra::{PackedSemiring, Semiring};
+pub use binser::BinSerError;
 pub use compress::{compress, compress_traced};
 pub use error::ModelError;
 pub use key::Key;

@@ -150,18 +150,18 @@ impl LinkedOp {
 /// Pre-interned slot vectors of one `BlockMulAdd`'s `A`/`B`/`C` blocks, in
 /// row-major `r·dim + c` order.
 #[derive(Clone, Debug)]
-struct BlockSlots {
-    dim: u32,
-    a: Vec<u32>,
-    b: Vec<u32>,
-    c: Vec<u32>,
+pub(crate) struct BlockSlots {
+    pub(crate) dim: u32,
+    pub(crate) a: Vec<u32>,
+    pub(crate) b: Vec<u32>,
+    pub(crate) c: Vec<u32>,
 }
 
 /// One step of a linked schedule; ranges index the flat transfer/op arrays.
 /// `step` is the step index in the *source* schedule, so runtime errors
 /// point at the same step as the reference executor's.
 #[derive(Clone, Debug)]
-enum LinkedStep {
+pub(crate) enum LinkedStep {
     Comm {
         transfers: Range<usize>,
         step: usize,
@@ -198,19 +198,19 @@ pub enum LinkedStepView<'a> {
 /// events in flat slot-addressed arrays, model constraints validated.
 #[derive(Clone, Debug)]
 pub struct LinkedSchedule {
-    n: usize,
-    capacity: usize,
-    rounds: usize,
-    messages: usize,
+    pub(crate) n: usize,
+    pub(crate) capacity: usize,
+    pub(crate) rounds: usize,
+    pub(crate) messages: usize,
     /// Per node: the interned keys; a key's slot id is its index here.
-    node_keys: Vec<Vec<Key>>,
+    pub(crate) node_keys: Vec<Vec<Key>>,
     /// Per node: key → slot. Used at link/load/extract time only — never on
     /// the execution hot path.
-    node_slots: Vec<HashMap<Key, u32>>,
-    steps: Vec<LinkedStep>,
-    transfers: Vec<LinkedTransfer>,
-    ops: Vec<LinkedOp>,
-    blocks: Vec<BlockSlots>,
+    pub(crate) node_slots: Vec<HashMap<Key, u32>>,
+    pub(crate) steps: Vec<LinkedStep>,
+    pub(crate) transfers: Vec<LinkedTransfer>,
+    pub(crate) ops: Vec<LinkedOp>,
+    pub(crate) blocks: Vec<BlockSlots>,
 }
 
 fn intern(keys: &mut Vec<Key>, slots: &mut HashMap<Key, u32>, key: Key) -> u32 {

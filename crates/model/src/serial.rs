@@ -210,7 +210,19 @@ pub fn read_schedule<R: BufRead>(r: R) -> Result<Schedule, SerialError> {
         match toks[0].as_str() {
             "end" => {
                 seen_end = true;
+                // Drain the rest of the input: a well-formed file ends
+                // here, so any further non-blank line means the file was
+                // concatenated, tampered with, or mis-assembled — reject
+                // it rather than silently ignoring content.
+                while let Some((gl, garbage)) = next()? {
+                    if !garbage.trim().is_empty() {
+                        return Err(err(gl, "content after `end` marker"));
+                    }
+                }
                 break;
+            }
+            "lowband-schedule" => {
+                return Err(err(l, "duplicate `lowband-schedule` header"));
             }
             "round" => {
                 let count: usize = toks
@@ -245,6 +257,12 @@ pub fn read_schedule<R: BufRead>(r: R) -> Result<Schedule, SerialError> {
                     .ok_or_else(|| err(l, "compute needs a count"))?
                     .parse()
                     .map_err(|e| err(l, format!("bad count: {e}")))?;
+                if count == 0 {
+                    // The builder drops empty compute blocks, so a
+                    // `compute 0` section would vanish on reload — a file
+                    // containing one can never round-trip and is rejected.
+                    return Err(err(l, "empty `compute 0` section"));
+                }
                 let mut ops = Vec::with_capacity(count);
                 for _ in 0..count {
                     let (ol, oline) = next()?.ok_or_else(|| err(l, "truncated compute"))?;
@@ -435,6 +453,40 @@ mod tests {
         let text = "lowband-schedule v1\nn 3 capacity 1\nround 2\n0 1 1 2 o\n0 1 2 2 o\nend\n";
         let e = read_schedule(text.as_bytes()).unwrap_err();
         assert!(matches!(e, SerialError::Model(_)), "{e}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_after_end() {
+        let s = sample_schedule();
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("round 0\n");
+        let e = read_schedule(text.as_bytes()).unwrap_err();
+        assert!(matches!(e, SerialError::Parse { .. }), "{e}");
+        assert!(e.to_string().contains("after `end`"), "{e}");
+        // Trailing blank lines stay fine — only content is rejected.
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n\n");
+        assert_eq!(read_schedule(text.as_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_duplicate_header() {
+        let text = "lowband-schedule v1\nn 2 capacity 1\nlowband-schedule v1\nend\n";
+        let e = read_schedule(text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn rejects_empty_compute_section() {
+        // `compute 0` would be dropped by the builder and vanish on the
+        // next save — a silent round-trip asymmetry, now a typed error.
+        let text = "lowband-schedule v1\nn 2 capacity 1\ncompute 0\nend\n";
+        let e = read_schedule(text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("compute 0"), "{e}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use lowband_core::{
 };
 use lowband_model::{ModelError, NoopTracer, Tracer};
 
+use crate::disk::PlanStore;
 use crate::key::StructureKey;
 
 /// Errors of the serving layer: the plan failed to compile/link, the
@@ -112,6 +113,17 @@ pub struct CacheStats {
     pub quarantine_blocked: u64,
     /// Quarantined structures readmitted after a clean lint + probe.
     pub readmissions: u64,
+    /// Memory misses answered from the disk tier (admission gate passed).
+    pub disk_hits: u64,
+    /// Memory misses with no file published in the disk tier.
+    pub disk_misses: u64,
+    /// Disk files rejected by the admission gate (corrupt, stale,
+    /// mis-keyed or lint-failing) — each degraded to a recompile.
+    pub disk_rejects: u64,
+    /// Plans written through to the disk tier.
+    pub disk_writes: u64,
+    /// Full compiles performed (every miss neither tier could answer).
+    pub compiles: u64,
 }
 
 impl CacheStats {
@@ -137,6 +149,11 @@ impl CacheStats {
             .set("quarantined", self.quarantined)
             .set("quarantine_blocked", self.quarantine_blocked)
             .set("readmissions", self.readmissions)
+            .set("disk_hits", self.disk_hits)
+            .set("disk_misses", self.disk_misses)
+            .set("disk_rejects", self.disk_rejects)
+            .set("disk_writes", self.disk_writes)
+            .set("compiles", self.compiles)
     }
 }
 
@@ -151,12 +168,18 @@ pub struct ScheduleCache {
     capacity: usize,
     entries: HashMap<StructureKey, Entry>,
     quarantined: HashSet<StructureKey>,
+    store: Option<PlanStore>,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
     quarantine_blocked: u64,
     readmissions: u64,
+    disk_hits: u64,
+    disk_misses: u64,
+    disk_rejects: u64,
+    disk_writes: u64,
+    compiles: u64,
 }
 
 impl ScheduleCache {
@@ -166,13 +189,37 @@ impl ScheduleCache {
             capacity: capacity.max(1),
             entries: HashMap::new(),
             quarantined: HashSet::new(),
+            store: None,
             tick: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
             quarantine_blocked: 0,
             readmissions: 0,
+            disk_hits: 0,
+            disk_misses: 0,
+            disk_rejects: 0,
+            disk_writes: 0,
+            compiles: 0,
         }
+    }
+
+    /// A cache with an attached on-disk tier: memory misses consult the
+    /// store before compiling, and fresh compiles are written through.
+    pub fn with_store(capacity: usize, store: PlanStore) -> ScheduleCache {
+        let mut cache = ScheduleCache::new(capacity);
+        cache.store = Some(store);
+        cache
+    }
+
+    /// Attach (or replace) the on-disk tier.
+    pub fn set_store(&mut self, store: PlanStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached on-disk tier, if any.
+    pub fn store(&self) -> Option<&PlanStore> {
+        self.store.as_ref()
     }
 
     /// The cached plan for this structure, compiling (and linting) it on a
@@ -202,8 +249,60 @@ impl ScheduleCache {
         }
         self.misses += 1;
         tracer.counter("serve.cache.miss", 1);
+        if let Some(plan) = self.load_from_store(key, tracer) {
+            return Ok(self.insert_plan(key, plan, tracer));
+        }
         let plan = self.compile_and_lint(inst, algorithm, compress, tracer)?;
+        self.save_to_store(key, &plan, tracer);
         Ok(self.insert_plan(key, plan, tracer))
+    }
+
+    /// Consult the disk tier on a memory miss. A gate-passing file is a
+    /// disk hit; an absent file is a disk miss; a rejected file (corrupt,
+    /// stale version, wrong key, lint failure) is counted and treated as
+    /// a miss, so the caller recompiles and the write-through overwrites
+    /// the bad file — the store self-heals.
+    fn load_from_store<T: Tracer>(
+        &mut self,
+        key: StructureKey,
+        tracer: &mut T,
+    ) -> Option<CompiledPlan> {
+        let store = self.store.as_ref()?;
+        match store.load(key) {
+            Ok(Some(plan)) => {
+                self.disk_hits += 1;
+                tracer.counter("serve.cache.disk.hit", 1);
+                Some(plan)
+            }
+            Ok(None) => {
+                self.disk_misses += 1;
+                tracer.counter("serve.cache.disk.miss", 1);
+                None
+            }
+            Err(_) => {
+                self.disk_rejects += 1;
+                tracer.counter("serve.cache.disk.reject", 1);
+                None
+            }
+        }
+    }
+
+    /// Write a freshly compiled plan through to the disk tier. A write
+    /// failure is counted but never fails the request — the plan is
+    /// already in memory and correct.
+    fn save_to_store<T: Tracer>(&mut self, key: StructureKey, plan: &CompiledPlan, tracer: &mut T) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        match store.save(key, plan) {
+            Ok(_) => {
+                self.disk_writes += 1;
+                tracer.counter("serve.cache.disk.write", 1);
+            }
+            Err(_) => {
+                tracer.counter("serve.cache.disk.write_failed", 1);
+            }
+        }
     }
 
     /// Compile + link + lint a plan without touching the cache map.
@@ -214,6 +313,8 @@ impl ScheduleCache {
         compress: bool,
         tracer: &mut T,
     ) -> Result<CompiledPlan, ServeError> {
+        self.compiles += 1;
+        tracer.counter("serve.cache.compile", 1);
         let plan = compile_plan_traced(inst, algorithm, compress, tracer)?;
         let lint = lint_linked_traced(&plan.schedule, &plan.linked, tracer);
         let errors = lint.errors().count();
@@ -323,6 +424,10 @@ impl ScheduleCache {
                 tracer.counter("serve.quarantine.readmit", 1);
                 self.tick += 1;
                 self.misses += 1;
+                // Overwrite any published file: if the quarantine was
+                // caused by a tampered disk artifact, the clean recompile
+                // heals it.
+                self.save_to_store(key, &plan, tracer);
                 Ok(self.insert_plan(key, plan, tracer))
             }
             Ok(_) => {
@@ -388,6 +493,11 @@ impl ScheduleCache {
             quarantined: self.quarantined.len(),
             quarantine_blocked: self.quarantine_blocked,
             readmissions: self.readmissions,
+            disk_hits: self.disk_hits,
+            disk_misses: self.disk_misses,
+            disk_rejects: self.disk_rejects,
+            disk_writes: self.disk_writes,
+            compiles: self.compiles,
         }
     }
 
@@ -404,6 +514,13 @@ impl ScheduleCache {
         self.evictions = 0;
         self.quarantine_blocked = 0;
         self.readmissions = 0;
+        self.disk_hits = 0;
+        self.disk_misses = 0;
+        self.disk_rejects = 0;
+        self.disk_writes = 0;
+        self.compiles = 0;
+        // The attached disk tier (if any) is kept: clearing the memory
+        // tier is an accounting reset, not a store wipe.
     }
 }
 
@@ -603,6 +720,72 @@ mod tests {
             .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
             .unwrap();
         assert!(Arc::ptr_eq(&plan, &hit), "readmitted plan is cached");
+    }
+
+    #[test]
+    fn disk_tier_answers_misses_without_compiling() {
+        let root = std::env::temp_dir().join(format!("lowband-cache-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let inst = us_instance(24, 3, 21);
+        // First cache: cold compile + write-through.
+        let mut warmer = ScheduleCache::with_store(4, PlanStore::open(&root).unwrap());
+        warmer
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        let s = warmer.stats();
+        assert_eq!((s.compiles, s.disk_misses, s.disk_writes), (1, 1, 1));
+        // Second cache sharing the root: the miss is answered from disk,
+        // zero compiles.
+        let mut reader = ScheduleCache::with_store(4, PlanStore::open(&root).unwrap());
+        let plan = reader
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        assert_eq!(plan.schedule.n(), 24);
+        let s = reader.stats();
+        assert_eq!((s.misses, s.disk_hits, s.compiles), (1, 1, 0));
+        // And the entry now lives in memory: next lookup is a pure hit.
+        reader
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        assert_eq!(reader.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_disk_file_degrades_to_recompile() {
+        let root =
+            std::env::temp_dir().join(format!("lowband-cache-reject-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let inst = us_instance(24, 3, 22);
+        let key = StructureKey::of(&inst, Algorithm::BoundedTriangles, false);
+        let mut cache = ScheduleCache::with_store(4, PlanStore::open(&root).unwrap());
+        cache
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        // Corrupt the published file, then force a memory miss.
+        let path = cache.store().unwrap().path_for(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        cache.clear();
+        let plan = cache
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        assert_eq!(plan.schedule.n(), 24);
+        let s = cache.stats();
+        assert_eq!(
+            (s.disk_rejects, s.compiles, s.disk_writes),
+            (1, 1, 1),
+            "reject → recompile → heal: {s:?}"
+        );
+        // The healed file now serves a fresh cache.
+        let mut reader = ScheduleCache::with_store(4, PlanStore::open(&root).unwrap());
+        reader
+            .get_or_compile(&inst, Algorithm::BoundedTriangles, false)
+            .unwrap();
+        assert_eq!(reader.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

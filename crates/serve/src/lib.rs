@@ -15,6 +15,11 @@
 //!   `lowband-check::lint_linked`) the artifact once; hits are a hash
 //!   lookup. Hit/miss/eviction counts surface both on
 //!   [`ScheduleCache::stats`] and as `serve.cache.*` tracer counters.
+//! * [`PlanStore`] — an on-disk second tier behind the LRU: one
+//!   content-addressed `model::binser` file per structure key, published
+//!   by atomic rename and re-validated (checksums, key equality,
+//!   `lint_linked`) on every load, so a tampered or stale file degrades
+//!   to a miss + recompile rather than an execution.
 //! * [`run_batch`] / [`run_batch_traced`] — stream `K` seeded value-sets
 //!   through one cached plan, sequentially (one slot store, reset between
 //!   runs) or fanned across threads ([`lowband_core::BatchMode`]).
@@ -27,6 +32,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod disk;
 pub mod key;
 pub mod supervise;
 
@@ -35,6 +41,7 @@ pub use batch::{
     run_batch_traced,
 };
 pub use cache::{CacheStats, ScheduleCache, ServeError};
+pub use disk::{decode_plan, encode_plan, PlanStore, StoreError};
 pub use key::StructureKey;
 pub use supervise::{
     BreakerState, CircuitBreaker, SupervisedOutcome, Supervisor, SupervisorConfig,

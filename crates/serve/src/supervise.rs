@@ -193,6 +193,9 @@ pub struct SupervisorConfig {
     pub packed_lanes: usize,
     /// The rung requests start on.
     pub start_rung: Rung,
+    /// Root of the on-disk plan store tier ([`crate::PlanStore`]);
+    /// `None` = memory-only caching.
+    pub store_root: Option<std::path::PathBuf>,
 }
 
 impl Default for SupervisorConfig {
@@ -208,6 +211,7 @@ impl Default for SupervisorConfig {
             quarantine_threshold: 3,
             packed_lanes: 0,
             start_rung: Rung::Packed,
+            store_root: None,
         }
     }
 }
@@ -260,7 +264,15 @@ pub struct Supervisor {
 impl Supervisor {
     /// A supervisor with the given tuning.
     pub fn new(config: SupervisorConfig) -> Supervisor {
-        let cache = ScheduleCache::new(config.cache_capacity);
+        let mut cache = ScheduleCache::new(config.cache_capacity);
+        if let Some(root) = &config.store_root {
+            // An unopenable root (permissions, bad path) degrades to
+            // memory-only serving rather than refusing to start: the disk
+            // tier is an accelerator, never a correctness dependency.
+            if let Ok(store) = crate::disk::PlanStore::open(root) {
+                cache.set_store(store);
+            }
+        }
         Supervisor {
             config,
             cache,

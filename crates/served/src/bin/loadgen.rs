@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run -p lowband-served --release --bin loadgen [-- --json] [--gate]
 //!     [--addr HOST:PORT] [--requests N] [--connections C] [--zipf S]
-//!     [--burst B] [--seed K] [--shutdown]
+//!     [--burst B] [--seed K] [--shutdown] [--expect-no-compiles]
 //! ```
 //!
 //! Without `--addr` an in-process daemon is started (and always shut
@@ -27,6 +27,12 @@
 //! With `--gate`: throughput ≥ 1000 req/s, cache hit-rate ≥ 0.8, zero
 //! incorrect responses, and ≥ 1 burst rejection — the serving gate CI
 //! enforces.
+//!
+//! With `--expect-no-compiles`: the daemon's stats snapshot must report
+//! zero cold compiles — the warm-restart check for a daemon started with
+//! `--store` on a previously populated root (the catalog is a pure
+//! function of `--seed`, so a rerun asks for exactly the same structure
+//! keys and every one must be answered from memory or disk).
 
 use lowband_bench::report::{
     budget_section, reservoir_section, BudgetEntry, Json, JsonReport, Reservoir, DEFAULT_TOLERANCE,
@@ -350,7 +356,15 @@ fn main() {
         .and_then(|c| c.get("rungs"))
         .cloned()
         .unwrap_or_else(Json::obj);
-    println!("cache hit-rate {hit_rate:.3}");
+    let compiles = cache
+        .get("compiles")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0) as u64;
+    let disk_hits = cache
+        .get("disk_hits")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0) as u64;
+    println!("cache hit-rate {hit_rate:.3}, {compiles} cold compile(s), {disk_hits} disk hit(s)");
 
     // ---- Phase 4: admission burst --------------------------------------
     // Idle connections are admission-queued without being served (the
@@ -447,6 +461,13 @@ fn main() {
     let incorrect = tally.incorrect + faulted_incorrect;
     if incorrect > 0 {
         eprintln!("GATE FAILED: {incorrect} incorrect response(s)");
+        std::process::exit(1);
+    }
+    if flag("--expect-no-compiles") && compiles > 0 {
+        eprintln!(
+            "GATE FAILED: {compiles} cold compile(s) with --expect-no-compiles \
+             (every structure should have been served from the warm plan store)"
+        );
         std::process::exit(1);
     }
     if gate {

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p lowband-served --release --bin served -- \
 //!     [--addr 127.0.0.1:4815] [--workers N] [--backlog B] \
-//!     [--deadline-ms D] [--cache C]
+//!     [--deadline-ms D] [--cache C] [--store DIR]
 //! ```
 //!
 //! Binds, prints the bound address (`listening on <addr>`) on stdout —
@@ -40,6 +40,11 @@ fn main() {
     }
     if let Some(cache) = arg_value("--cache").and_then(|v| v.parse().ok()) {
         config.supervisor.cache_capacity = cache;
+    }
+    // On-disk plan tier: a restarted daemon pointed at the same root
+    // serves every previously seen structure without a cold compile.
+    if let Some(store) = arg_value("--store") {
+        config.supervisor.store_root = Some(std::path::PathBuf::from(store));
     }
 
     let handle = match serve(config) {

@@ -1,0 +1,417 @@
+//! Corruption fuzzing of the `model::binser` plan format and the
+//! `serve::disk` admission gate (DESIGN.md §16).
+//!
+//! The contract under test: **no byte sequence handed to the decoder may
+//! panic, allocate unboundedly, or yield a plan that executes differently
+//! from some pristine plan's source schedule.** Every mutation below must
+//! land in one of two buckets — a typed [`BinSerError`] (or store-level
+//! rejection), or a decode that still passes the full admission lint.
+//!
+//! Mutations: seeded single-byte flips over a corpus of real compiled
+//! plans, truncation at every section boundary (and every prefix of the
+//! smallest file), magic/version mutations, length-field inflation, and
+//! count-field inflation behind freshly sealed checksums. A final pair of
+//! tests drives the same corruption through `PlanStore`/`ScheduleCache`
+//! and checks it degrades to a recompile, not an execution.
+//!
+//! Iteration counts rise under `--features proptest-tests`, matching
+//! `tests/properties.rs`.
+
+use lowband::check::lint_linked;
+use lowband::core::{compile_plan, Algorithm, CompiledPlan, Instance};
+use lowband::matrix::gen;
+use lowband::model::binser::{
+    self, BinSerError, FileReader, BINSER_MAGIC, BINSER_VERSION, TAG_END,
+};
+use lowband::serve::{decode_plan, encode_plan, PlanStore, ScheduleCache, StructureKey};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[cfg(feature = "proptest-tests")]
+const FLIPS_PER_FILE: usize = 4096;
+#[cfg(not(feature = "proptest-tests"))]
+const FLIPS_PER_FILE: usize = 512;
+
+/// A corpus of real encoded plan files: algorithms × compression over a
+/// small block-diagonal instance (every op kind, both step kinds).
+fn corpus() -> Vec<(String, u128, CompiledPlan, Vec<u8>)> {
+    let s = gen::block_diagonal(24, 4);
+    let inst = Instance::new(s.clone(), s.clone(), s);
+    let mut out = Vec::new();
+    for (tag, algorithm) in [
+        ("trivial", Algorithm::Trivial),
+        ("bounded", Algorithm::BoundedTriangles),
+    ] {
+        for compress in [false, true] {
+            let plan = compile_plan(&inst, algorithm, compress).expect("corpus compile");
+            let key = StructureKey::of(&inst, algorithm, compress).as_u128();
+            let bytes = encode_plan(key, &plan);
+            out.push((format!("{tag}/compress={compress}"), key, plan, bytes));
+        }
+    }
+    out
+}
+
+/// What a mutated file is allowed to do, mirroring the store's admission
+/// gate: a typed [`BinSerError`] (checksum/structure layer), a decode
+/// whose schedule↔link fidelity check fails (`lint_linked` layer — the
+/// store degrades it to a miss), or a decode that clears the full gate —
+/// which by the gate's own proof is a well-formed executable plan. The
+/// only forbidden outcomes are a panic or unbounded allocation, and those
+/// fail the test by crashing it.
+fn must_degrade_cleanly(bytes: &[u8]) {
+    if let Ok((_key, plan)) = decode_plan(bytes) {
+        // Exercise the gate's semantic layer the way `PlanStore::load`
+        // does; either verdict is acceptable, it just must not panic.
+        let _ = lint_linked(&plan.schedule, &plan.linked).errors().count();
+    }
+}
+
+#[test]
+fn pristine_corpus_roundtrips_bit_identically() {
+    for (name, key, plan, bytes) in corpus() {
+        let (found_key, decoded) = decode_plan(&bytes).expect("pristine file decodes");
+        assert_eq!(found_key, key, "{name}: embedded key drifted");
+        assert_eq!(decoded.schedule, plan.schedule, "{name}: schedule drifted");
+        assert_eq!(
+            lint_linked(&decoded.schedule, &decoded.linked)
+                .errors()
+                .count(),
+            0,
+            "{name}: pristine decode fails the admission lint"
+        );
+        assert_eq!(
+            encode_plan(found_key, &decoded),
+            bytes,
+            "{name}: load(save(plan)) is not bit-identical"
+        );
+    }
+}
+
+#[test]
+fn seeded_single_byte_flips_never_panic_or_diverge() {
+    for (_name, _key, _plan, bytes) in corpus() {
+        let mut rng = StdRng::seed_from_u64(0xB175_F11F);
+        for _case in 0..FLIPS_PER_FILE {
+            let pos = rng.gen_range(0..bytes.len());
+            let mask = rng.gen_range(1..256u32) as u8;
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= mask;
+            must_degrade_cleanly(&mutated);
+        }
+    }
+}
+
+#[test]
+fn every_prefix_of_the_smallest_file_is_rejected() {
+    let (name, _key, _plan, bytes) = corpus()
+        .into_iter()
+        .min_by_key(|(_, _, _, b)| b.len())
+        .expect("non-empty corpus");
+    for len in 0..bytes.len() {
+        assert!(
+            decode_plan(&bytes[..len]).is_err(),
+            "{name}: prefix of {len} bytes decoded"
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_typed() {
+    for (name, _key, _plan, bytes) in corpus() {
+        let reader = FileReader::new(&bytes).expect("pristine envelope");
+        let mut cuts = vec![0usize, bytes.len() - 1];
+        for span in reader.spans() {
+            cuts.extend([
+                span.record.start,
+                span.payload.start,
+                span.payload.end,
+                span.record.end,
+            ]);
+        }
+        drop(reader);
+        // The last record's end is the file itself — that one must decode.
+        cuts.retain(|&c| c < bytes.len());
+        for cut in cuts {
+            assert!(
+                decode_plan(&bytes[..cut]).is_err(),
+                "{name}: truncation at boundary {cut} decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn magic_and_version_mutations_are_typed() {
+    let (_name, _key, _plan, bytes) = &corpus()[0];
+    for pos in 0..8 {
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= 0x20;
+        assert!(
+            matches!(decode_plan(&mutated), Err(BinSerError::BadMagic { .. })),
+            "magic flip at byte {pos} not typed as BadMagic"
+        );
+    }
+    let mut stale = bytes.clone();
+    stale[8] = BINSER_VERSION + 1;
+    match decode_plan(&stale) {
+        Err(BinSerError::UnsupportedVersion { found, supported }) => {
+            assert_eq!((found, supported), (BINSER_VERSION + 1, BINSER_VERSION));
+        }
+        other => panic!("stale version byte: expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn length_field_inflation_is_rejected_without_allocation() {
+    for (name, _key, _plan, bytes) in corpus() {
+        let reader = FileReader::new(&bytes).expect("pristine envelope");
+        let spans: Vec<_> = reader.spans().to_vec();
+        drop(reader);
+        for span in spans.iter().filter(|s| s.tag != TAG_END) {
+            for inflated in [u64::MAX, u64::MAX / 2, bytes.len() as u64 + 8] {
+                let mut mutated = bytes.clone();
+                let at = span.record.start + 8;
+                mutated[at..at + 8].copy_from_slice(&inflated.to_le_bytes());
+                assert!(
+                    decode_plan(&mutated).is_err(),
+                    "{name}: inflated length {inflated:#x} in {:?} decoded",
+                    span.tag
+                );
+            }
+        }
+    }
+}
+
+/// Inflate record-count words *inside* payloads, then re-seal the file
+/// with fresh checksums so the mutation reaches the payload decoder
+/// rather than dying at the envelope. The decoder's count guard must
+/// reject the declared count against the remaining bytes — not allocate.
+#[test]
+fn count_field_inflation_behind_valid_checksums_is_rejected() {
+    for (_name, _key, _plan, bytes) in corpus() {
+        let reader = FileReader::new(&bytes).expect("pristine envelope");
+        let sections: Vec<([u8; 4], Vec<u8>)> = reader
+            .spans()
+            .iter()
+            .filter(|s| s.tag != TAG_END)
+            .map(|s| (s.tag, bytes[s.payload.clone()].to_vec()))
+            .collect();
+        drop(reader);
+        let mut rng = StdRng::seed_from_u64(0xC0_4277);
+        for _case in 0..(FLIPS_PER_FILE / 8) {
+            let victim = rng.gen_range(0..sections.len());
+            let mut mutated = sections.clone();
+            let payload = &mut mutated[victim].1;
+            if payload.len() < 8 {
+                continue;
+            }
+            // Overwrite one aligned u64 word with a huge value: whatever
+            // role it plays (count, n, dim, slot run), the decoder must
+            // bound-check it.
+            let word = rng.gen_range(0..payload.len() / 8) * 8;
+            payload[word..word + 8].copy_from_slice(&(u64::MAX / 3).to_le_bytes());
+            let mut w = binser::FileWriter::new();
+            for (tag, p) in &mutated {
+                w.section(*tag, p);
+            }
+            must_degrade_cleanly(&w.finish());
+        }
+    }
+}
+
+#[test]
+fn magic_constant_is_stable() {
+    // The on-disk contract: changing these is a format break and must come
+    // with a version bump, not a silent re-interpretation.
+    assert_eq!(&BINSER_MAGIC, b"LBPLAN\r\n");
+    assert_eq!(BINSER_VERSION, 1);
+}
+
+fn tmp_root(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lowband-binser-fuzz-{tag}-{}", std::process::id()))
+}
+
+/// Store-level fuzz: corrupt the published file at seeded offsets; every
+/// load must come back `Err` (gate rejection) or pristine-equivalent, and
+/// the serving cache must degrade to a recompile that heals the file.
+#[test]
+fn tampered_store_files_degrade_to_miss_plus_recompile() {
+    let s = gen::block_diagonal(24, 4);
+    let inst = Instance::new(s.clone(), s.clone(), s);
+    let algorithm = Algorithm::BoundedTriangles;
+    let key = StructureKey::of(&inst, algorithm, false);
+
+    let root = tmp_root("tamper");
+    let _ = std::fs::remove_dir_all(&root);
+    let store = PlanStore::open(&root).expect("open store");
+    let plan = compile_plan(&inst, algorithm, false).expect("compile");
+    store.save(key, &plan).expect("publish");
+    let path = store.path_for(key);
+    let pristine = std::fs::read(&path).expect("read published file");
+
+    let mut rng = StdRng::seed_from_u64(0x7A39_ED57);
+    for _ in 0..FLIPS_PER_FILE / 8 {
+        let pos = rng.gen_range(0..pristine.len());
+        let mut mutated = pristine.clone();
+        mutated[pos] ^= 0x40;
+        std::fs::write(&path, &mutated).expect("tamper");
+
+        let mut cache = ScheduleCache::with_store(4, PlanStore::open(&root).expect("reopen"));
+        let served = cache
+            .get_or_compile(&inst, algorithm, false)
+            .expect("request survives tampering");
+        assert_eq!(
+            served.schedule, plan.schedule,
+            "tampered byte {pos} changed the served schedule"
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            stats.disk_hits + stats.disk_rejects + stats.disk_misses,
+            1,
+            "byte {pos}: exactly one disk probe expected: {stats:?}"
+        );
+        if stats.disk_rejects == 1 {
+            assert_eq!(
+                (stats.compiles, stats.disk_writes),
+                (1, 1),
+                "byte {pos}: a reject must recompile and heal the file: {stats:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property tests over the `lowband::check` schedule generator:
+// every seeded random valid schedule (sizes 2..12, capacities 1..4), raw and
+// compressed, must survive `load(save(plan))` bit-identically and execute
+// identically to its pristine link across semirings.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "proptest-tests")]
+const CASES: u64 = 128;
+#[cfg(not(feature = "proptest-tests"))]
+const CASES: u64 = 32;
+
+/// Wrap a generated schedule (optionally re-scheduled by `compress`) into
+/// a `CompiledPlan` the way `compile_plan` does.
+fn plan_of(schedule: lowband::model::Schedule) -> CompiledPlan {
+    let linked = lowband::model::link(&schedule).expect("generated schedule links");
+    let modeled_rounds = schedule.rounds() as f64;
+    CompiledPlan {
+        schedule,
+        linked,
+        modeled_rounds,
+        triangles: 0,
+    }
+}
+
+#[test]
+fn generated_schedules_roundtrip_bit_identically() {
+    for seed in 0..CASES {
+        let case = lowband::check::generate_for_seed(seed);
+        for compressed in [false, true] {
+            let schedule = if compressed {
+                lowband::model::compress(&case.schedule)
+            } else {
+                case.schedule.clone()
+            };
+            let plan = plan_of(schedule);
+            let key = u128::from(seed) << 64 | u128::from(u64::from(compressed));
+            let bytes = encode_plan(key, &plan);
+            let (found, decoded) =
+                decode_plan(&bytes).unwrap_or_else(|e| panic!("seed {seed}: decode failed: {e}"));
+            assert_eq!(found, key, "seed {seed}: key drifted");
+            assert_eq!(
+                decoded.schedule, plan.schedule,
+                "seed {seed} compressed={compressed}: schedule drifted"
+            );
+            assert_eq!(
+                lint_linked(&decoded.schedule, &decoded.linked)
+                    .errors()
+                    .count(),
+                0,
+                "seed {seed} compressed={compressed}: decode fails the admission lint"
+            );
+            assert_eq!(
+                encode_plan(found, &decoded),
+                bytes,
+                "seed {seed} compressed={compressed}: load(save(plan)) is not bit-identical"
+            );
+        }
+    }
+}
+
+/// Run a linked schedule under semiring `S` from the generator's loads and
+/// return per-node snapshots plus stats.
+fn execute<S: lowband::model::Semiring>(
+    linked: &lowband::model::LinkedSchedule,
+    loads: &[(u32, lowband::model::Key, u64)],
+    lift: impl Fn(u64) -> S,
+) -> (
+    Vec<std::collections::HashMap<lowband::model::Key, S>>,
+    lowband::model::ExecutionStats,
+) {
+    use lowband::model::{LinkedMachine, NodeId};
+    let mut m: LinkedMachine<S> = LinkedMachine::new(linked);
+    for &(node, key, v) in loads {
+        m.load(NodeId(node), key, lift(v));
+    }
+    let stats = m.run().expect("generated schedule executes");
+    let stores = (0..linked.n() as u32)
+        .map(|node| m.snapshot(NodeId(node)))
+        .collect();
+    (stores, stats)
+}
+
+/// Compare pristine vs decoded execution under one semiring.
+fn assert_same_execution<S: lowband::model::Semiring + PartialEq + std::fmt::Debug>(
+    seed: u64,
+    semiring: &str,
+    pristine: &lowband::model::LinkedSchedule,
+    decoded: &lowband::model::LinkedSchedule,
+    loads: &[(u32, lowband::model::Key, u64)],
+    lift: impl Fn(u64) -> S + Copy,
+) {
+    let (want_stores, want_stats) = execute(pristine, loads, lift);
+    let (got_stores, got_stats) = execute(decoded, loads, lift);
+    assert_eq!(
+        want_stats, got_stats,
+        "seed {seed} [{semiring}]: stats diverge after binser roundtrip"
+    );
+    assert_eq!(
+        want_stores, got_stores,
+        "seed {seed} [{semiring}]: stores diverge after binser roundtrip"
+    );
+}
+
+#[test]
+fn decoded_plans_execute_identically_across_semirings() {
+    use lowband::matrix::{Bool, Fp, Gf2, MinPlus, Wrap64};
+    use lowband::model::algebra::Nat;
+    for seed in 0..CASES / 4 {
+        let case = lowband::check::generate_for_seed(seed);
+        let plan = plan_of(case.schedule.clone());
+        let bytes = encode_plan(u128::from(seed), &plan);
+        let (_, decoded) = decode_plan(&bytes).expect("roundtrip");
+        let loads = &case.loads;
+        assert_same_execution(seed, "Nat", &plan.linked, &decoded.linked, loads, Nat);
+        assert_same_execution(seed, "Fp", &plan.linked, &decoded.linked, loads, Fp::new);
+        assert_same_execution(seed, "Wrap64", &plan.linked, &decoded.linked, loads, Wrap64);
+        assert_same_execution(
+            seed,
+            "MinPlus",
+            &plan.linked,
+            &decoded.linked,
+            loads,
+            MinPlus,
+        );
+        assert_same_execution(seed, "Bool", &plan.linked, &decoded.linked, loads, |v| {
+            Bool(v % 2 == 1)
+        });
+        assert_same_execution(seed, "Gf2", &plan.linked, &decoded.linked, loads, |v| {
+            Gf2(v % 2 == 1)
+        });
+    }
+}

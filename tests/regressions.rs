@@ -276,3 +276,53 @@ fn read_phase_worker_panic_is_a_typed_error() {
         "expected WorkerPanicked, got {err:?}"
     );
 }
+
+/// Text-format loader regressions (fixed alongside the binary plan
+/// format): the v1 `lowband-schedule` reader accepted duplicate headers
+/// and silently ignored everything after the `end` marker, so a file
+/// accidentally concatenated with itself (or with trailing junk) loaded
+/// as a valid — wrong — schedule. Both are now typed parse errors.
+#[test]
+fn serial_loader_rejects_duplicate_header_and_trailing_garbage() {
+    use lowband::model::serial::SerialError;
+    use lowband::model::{read_schedule, write_schedule};
+
+    let mut b = ScheduleBuilder::new(2);
+    b.round(vec![transfer(0, Key::tmp(0, 0), 1, Key::tmp(0, 1))])
+        .unwrap();
+    let schedule = b.build();
+    let mut text = Vec::new();
+    write_schedule(&schedule, &mut text).unwrap();
+    let text = String::from_utf8(text).unwrap();
+
+    // Sanity: the pristine document round-trips.
+    assert_eq!(read_schedule(text.as_bytes()).unwrap(), schedule);
+
+    // Self-concatenation: the second header must be a typed error, not a
+    // silent re-parse.
+    let double = format!("{text}{text}");
+    match read_schedule(double.as_bytes()) {
+        Err(SerialError::Parse { message, .. }) => {
+            assert!(
+                message.contains("after `end`") || message.contains("duplicate"),
+                "unexpected message: {message}"
+            );
+        }
+        other => panic!("concatenated document: expected parse error, got {other:?}"),
+    }
+
+    // Trailing garbage after `end` (blank lines stay fine).
+    let with_blank = format!("{text}\n\n");
+    assert_eq!(read_schedule(with_blank.as_bytes()).unwrap(), schedule);
+    let with_garbage = format!("{text}round 99\n");
+    match read_schedule(with_garbage.as_bytes()) {
+        Err(SerialError::Parse { line, message }) => {
+            assert!(
+                message.contains("after `end`"),
+                "unexpected message: {message}"
+            );
+            assert!(line > 0, "error must carry line provenance");
+        }
+        other => panic!("trailing garbage: expected parse error, got {other:?}"),
+    }
+}
